@@ -1,0 +1,112 @@
+// Ablation — §6.1.3's prediction-driven balancer, end to end.
+//
+// The paper measures predictor MSE (Fig 4(c)) but stops short of closing the
+// loop. This bench runs the balancer itself with forecast-based importer
+// selection (S6 with ARIMA and GBT) against the production heuristic (S2)
+// and the oracle (S5), reporting migration churn and achieved balance.
+
+#include <iostream>
+
+#include "src/balancer/balancer.h"
+#include "src/core/simulation.h"
+#include "src/ml/arima.h"
+#include "src/ml/gbt.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace {
+
+using ebs::TablePrinter;
+
+struct Row {
+  std::string name;
+  ebs::BalancerConfig config;
+};
+
+void Run() {
+  ebs::EbsSimulation sim(ebs::StorageStudyPreset());
+  const ebs::Fleet& fleet = sim.fleet();
+
+  std::vector<Row> rows;
+  {
+    Row r;
+    r.name = "S2-MinTraffic (production)";
+    r.config.policy = ebs::ImporterPolicy::kMinTraffic;
+    rows.push_back(r);
+  }
+  {
+    Row r;
+    r.name = "S6-ARIMA forecast";
+    r.config.policy = ebs::ImporterPolicy::kPredictive;
+    r.config.predictor_factory = [] {
+      ebs::ArimaOptions options;
+      options.train_window = 60;
+      return ebs::MakeArimaPredictor(options);
+    };
+    rows.push_back(r);
+  }
+  {
+    Row r;
+    r.name = "S6-GBT forecast";
+    r.config.policy = ebs::ImporterPolicy::kPredictive;
+    r.config.predictor_factory = [] {
+      ebs::GbtOptions options;
+      options.refit_every = 10;
+      options.trees = 30;
+      return ebs::MakeGbtPredictor(options);
+    };
+    rows.push_back(r);
+  }
+  {
+    Row r;
+    r.name = "S7-SegmentForecast (EWMA)";
+    r.config.policy = ebs::ImporterPolicy::kSegmentForecast;
+    rows.push_back(r);
+  }
+  {
+    Row r;
+    r.name = "S5-Ideal (oracle)";
+    r.config.policy = ebs::ImporterPolicy::kIdeal;
+    rows.push_back(r);
+  }
+
+  ebs::PrintBanner(std::cout, "Prediction-driven balancer, all clusters (15-step periods)");
+  TablePrinter table({"Importer", "migrations", "interval p50", "mean write CoV"});
+  for (Row& row : rows) {
+    row.config.period_steps = 15;
+    size_t migrations = 0;
+    std::vector<double> intervals;
+    ebs::RunningStats cov;
+    for (const ebs::StorageCluster& cluster : fleet.storage_clusters) {
+      ebs::InterBsBalancer balancer(fleet, sim.metrics(), cluster.id, row.config);
+      const auto result = balancer.Run();
+      migrations += result.migrations.size();
+      const auto cluster_intervals =
+          ebs::MigrationIntervals(result.migrations, result.periods);
+      intervals.insert(intervals.end(), cluster_intervals.begin(), cluster_intervals.end());
+      for (const double c : result.write_cov) {
+        cov.Add(c);
+      }
+    }
+    table.AddRow({row.name, std::to_string(migrations),
+                  TablePrinter::Fmt(ebs::Percentile(intervals, 50.0), 3),
+                  TablePrinter::Fmt(cov.mean(), 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading: the oracle (S5) shows the ceiling — fewest migrations, best\n"
+               "balance. Naive per-BS forecasts (S6) actually *underperform* the current-\n"
+               "period heuristic at short balancing periods, because forecast error on a\n"
+               "bursty series misranks the coldest server more often than 'use the last\n"
+               "period' does — exactly the deployment challenge the paper's 6.1.3 warns\n"
+               "about. Segment-level forecasting (S7) composes per-segment EWMAs under\n"
+               "the live assignment: it avoids S6's forecast-error penalty and matches\n"
+               "the heuristic's balance; the remaining gap to the oracle is the\n"
+               "irreducible burst unpredictability the paper highlights.\n";
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

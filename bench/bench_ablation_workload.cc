@@ -1,0 +1,80 @@
+// Ablation — which ingredients of the workload model produce which paper
+// shapes. Each row disables one structural mechanism and shows which
+// headline statistic collapses:
+//   episodic reads    -> VM-level read P2A;
+//   QP concentration  -> WT-CoV / hottest-QP share;
+//   LBA hot block     -> hottest-block access rate.
+
+#include <iostream>
+
+#include "src/analysis/skewness.h"
+#include "src/cache/hotspot.h"
+#include "src/core/simulation.h"
+#include "src/hypervisor/wt_balance.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace {
+
+using ebs::OpType;
+using ebs::TablePrinter;
+
+struct Variant {
+  std::string name;
+  bool episodic_reads;
+  bool qp_concentration;
+  double hot_prob_scale;
+};
+
+void Run() {
+  const std::vector<Variant> variants = {
+      {"full model", true, true, 1.0},
+      {"- episodic reads", false, true, 1.0},
+      {"- QP concentration", true, false, 1.0},
+      {"- zipf hot block", true, true, 0.0},
+  };
+
+  ebs::PrintBanner(std::cout, "Workload design-choice ablation");
+  TablePrinter table({"Variant", "VM read P2A p50", "WT-CoV p50 (60s)",
+                      "hottest-QP share p50", "hot-block rate p50 (64MiB)"});
+  for (const Variant& variant : variants) {
+    ebs::SimulationConfig config = ebs::DcPreset(1);
+    config.workload.episodic_reads = variant.episodic_reads;
+    config.workload.qp_concentration = variant.qp_concentration;
+    config.workload.hot_prob_scale = variant.hot_prob_scale;
+    ebs::EbsSimulation sim(config);
+
+    const auto p2a = ebs::EntityP2a(sim.VmSeries(), OpType::kRead);
+    const auto wt_cov = ebs::WtCovSamples(sim.fleet(), sim.metrics(), OpType::kWrite, 60);
+    const auto qp_share = ebs::HottestQpShares(sim.fleet(), sim.metrics(), OpType::kWrite);
+
+    const ebs::VdTraceIndex index(sim.fleet(), sim.traces());
+    std::vector<double> hot_rates;
+    for (const ebs::VdId vd : index.ActiveVds(100)) {
+      const auto stats = ebs::AnalyzeHottestBlock(
+          index.ForVd(vd), sim.fleet().vds[vd.value()].capacity_bytes, 64ULL * ebs::kMiB,
+          sim.traces().window_seconds, 60.0);
+      if (stats) {
+        hot_rates.push_back(stats->access_rate);
+      }
+    }
+
+    table.AddRow({variant.name, TablePrinter::Fmt(ebs::Percentile(p2a, 50.0), 1),
+                  TablePrinter::Fmt(ebs::Percentile(wt_cov, 50.0), 2),
+                  TablePrinter::FmtPercent(ebs::Percentile(qp_share, 50.0)),
+                  TablePrinter::FmtPercent(ebs::Percentile(hot_rates, 50.0))});
+  }
+  table.Print(std::cout);
+  std::cout << "\nEach mechanism maps to one paper observation. Note the last row: removing\n"
+               "the zipf hot region does NOT kill the hottest-block rate — the sequential\n"
+               "write stream concentrates on its own span and becomes the hottest block,\n"
+               "matching the paper's inference that 'the hottest block may perform\n"
+               "sequential write' (7.3.1).\n";
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Fig 2(d)-(f) + §4.4 — trace-driven rebinding simulation and hosting models.
+//
+//  (d) rebinding ratio vs rebinding gain per node (gain = CoV_after /
+//      CoV_before; < 1 means rebinding helped). The paper's key point:
+//      rebinding is NOT universally profitable — bursty nodes rebind often
+//      yet gain nothing.
+//  (e)/(f) the hottest WT's fine-grained traffic series for the most bursty
+//      (node-b) vs a smooth (node-r) node, summarized by P2A.
+//  §4.4: static binding vs rebinding vs per-IO dispatch (multi-WT hosting).
+
+#include <algorithm>
+#include <iostream>
+
+#include "src/core/simulation.h"
+#include "src/hypervisor/rebinding.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace {
+
+using ebs::TablePrinter;
+
+void Run() {
+  ebs::EbsSimulation sim(ebs::DcPreset(1));
+  const ebs::Fleet& fleet = sim.fleet();
+  const ebs::TraceDataset& traces = sim.traces();
+
+  // The paper's setting: 10 ms rebinding periods. Gain is evaluated over 1 s
+  // sub-windows, so a node whose traffic arrives in sub-period (<10 ms)
+  // clusters cannot be helped — the cluster always lands on a single WT no
+  // matter how the stale swap placed its QP.
+  ebs::RebindingConfig config;
+  config.period_seconds = 0.010;
+
+  const auto results = ebs::SimulateRebinding(fleet, traces, config);
+
+  ebs::PrintBanner(std::cout, "Fig 2(d): rebinding ratio vs gain (gain<1 means improvement)");
+  std::vector<double> gains;
+  std::vector<double> ratios;
+  size_t improved = 0;
+  for (const auto& r : results) {
+    gains.push_back(r.gain);
+    ratios.push_back(r.rebinding_ratio);
+    if (r.gain < 1.0) {
+      ++improved;
+    }
+  }
+  TablePrinter table({"Metric", "Value"});
+  table.AddRow({"Nodes simulated", std::to_string(results.size())});
+  std::vector<double> active_ratios;
+  size_t materially = 0;
+  for (const auto& r : results) {
+    active_ratios.push_back(r.active_rebinding_ratio);
+    if (r.gain < 0.9) {
+      ++materially;
+    }
+  }
+  table.AddRow({"Median rebinding ratio", TablePrinter::FmtPercent(ebs::Percentile(ratios, 50))});
+  table.AddRow({"Median rebinding ratio (active periods)",
+                TablePrinter::FmtPercent(ebs::Percentile(active_ratios, 50))});
+  table.AddRow({"Median gain", TablePrinter::FmtPercent(ebs::Percentile(gains, 50))});
+  table.AddRow({"Nodes improved (gain < 100%)",
+                TablePrinter::FmtPercent(static_cast<double>(improved) /
+                                         std::max<size_t>(1, results.size()))});
+  table.AddRow({"Nodes materially improved (gain < 90%)",
+                TablePrinter::FmtPercent(static_cast<double>(materially) /
+                                         std::max<size_t>(1, results.size()))});
+  table.Print(std::cout);
+  std::cout << "Paper: only ~30% of nodes see a real gain; some nodes rebind in 60% of "
+               "periods with gain ~= 100% (no improvement).\n";
+
+  // --- Fig 2(e)/(f): bursty vs smooth node -----------------------------------
+  // node-b: the node with the highest hottest-WT P2A among high-traffic nodes;
+  // node-r: the one with the lowest.
+  const ebs::NodeRebindingResult* node_b = nullptr;
+  const ebs::NodeRebindingResult* node_r = nullptr;
+  for (const auto& r : results) {
+    if (node_b == nullptr || r.p2a_10ms > node_b->p2a_10ms) {
+      node_b = &r;
+    }
+    if (node_r == nullptr || (r.p2a_10ms > 0 && r.p2a_10ms < node_r->p2a_10ms)) {
+      node_r = &r;
+    }
+  }
+  if (node_b != nullptr && node_r != nullptr) {
+    ebs::PrintBanner(std::cout, "Fig 2(e)/(f): hottest-WT burstiness, node-b vs node-r");
+    TablePrinter burst({"Node", "P2A (period scale)", "rebinding ratio", "gain"});
+    burst.AddRow({"node-b (bursty)", TablePrinter::Fmt(node_b->p2a_10ms, 1),
+                  TablePrinter::FmtPercent(node_b->rebinding_ratio),
+                  TablePrinter::FmtPercent(node_b->gain)});
+    burst.AddRow({"node-r (smooth)", TablePrinter::Fmt(node_r->p2a_10ms, 1),
+                  TablePrinter::FmtPercent(node_r->rebinding_ratio),
+                  TablePrinter::FmtPercent(node_r->gain)});
+    burst.Print(std::cout);
+    std::cout << "Paper: node-b P2A = 80.6, 7.7x node-r; bursts shorter than the rebinding "
+                 "period defeat rebinding.\n";
+  }
+
+  // --- §4.4 hosting model comparison -----------------------------------------
+  ebs::PrintBanner(std::cout, "Hosting models: WT balance vs synchronization cost");
+  TablePrinter hosting({"Model", "median WT-CoV", "mean WT-CoV", "handoffs/IO"});
+  ebs::RebindingConfig hosting_config = config;
+  hosting_config.gain_window_seconds = 60.0;  // balance over scheduler-relevant horizons
+  for (const auto& r : ebs::CompareHostingModels(fleet, traces, hosting_config)) {
+    hosting.AddRow({ebs::HostingModelName(r.model), TablePrinter::Fmt(r.median_wt_cov, 3),
+                    TablePrinter::Fmt(r.mean_wt_cov, 3),
+                    TablePrinter::Fmt(r.handoffs_per_io, 3)});
+  }
+  hosting.Print(std::cout);
+  std::cout << "Expected: per-IO dispatch balances nearly perfectly (CoV ~ 0) but pays a "
+               "per-IO handoff cost, motivating hardware dispatch (§4.4).\n";
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Fig 3(d)-(g) — limited lending (Algorithm 2).
+//
+//  (d)/(e) the theoretical Reduction Rate (Eq. 3) of throttle duration at
+//          lending rates p in {0.2, 0.4, 0.8}, for multi-VD VMs and multi-VM
+//          nodes;
+//  (f)/(g) the realized lending gain of the periodic proof-of-concept lending
+//          mechanism. Expected: mostly positive, but negative tails at low p
+//          because a lender can burst and hit its reduced cap.
+
+#include <iostream>
+
+#include "src/core/simulation.h"
+#include "src/throttle/throttle.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace {
+
+using ebs::TablePrinter;
+
+void RunGroups(const ebs::Fleet& fleet, const std::vector<ebs::RwSeries>& offered,
+               const std::vector<ebs::SharingGroup>& groups, const std::string& label) {
+  ebs::PrintBanner(std::cout, "Fig 3(d/e) [" + label + "]: reduction rate of throttle duration");
+  TablePrinter reduction({"p", "RR p50 (throughput)", "RR p50 (IOPS)"});
+  for (const double p : {0.2, 0.4, 0.8}) {
+    ebs::ThrottleConfig config;
+    const auto rates = ebs::ComputeReductionRates(fleet, offered, groups, config, p);
+    reduction.AddRow({TablePrinter::Fmt(p, 1),
+                      TablePrinter::FmtPercent(ebs::Percentile(rates.throughput, 50)),
+                      TablePrinter::FmtPercent(ebs::Percentile(rates.iops, 50))});
+  }
+  reduction.Print(std::cout);
+
+  ebs::PrintBanner(std::cout, "Fig 3(f/g) [" + label + "]: realized lending gain");
+  TablePrinter gain_table({"p", "gain p50", "positive gain share", "negative gain share",
+                           "groups"});
+  for (const double p : {0.2, 0.4, 0.8}) {
+    ebs::ThrottleConfig config;
+    config.lending_rate = p;
+    const auto gains = ebs::SimulateLending(fleet, offered, groups, config);
+    size_t positive = 0;
+    size_t negative = 0;
+    for (const double g : gains) {
+      if (g > 0.0) {
+        ++positive;
+      } else if (g < 0.0) {
+        ++negative;
+      }
+    }
+    const double n = std::max<double>(1.0, static_cast<double>(gains.size()));
+    gain_table.AddRow({TablePrinter::Fmt(p, 1),
+                       TablePrinter::Fmt(ebs::Percentile(gains, 50), 3),
+                       TablePrinter::FmtPercent(static_cast<double>(positive) / n),
+                       TablePrinter::FmtPercent(static_cast<double>(negative) / n),
+                       std::to_string(gains.size())});
+  }
+  gain_table.Print(std::cout);
+}
+
+void Run() {
+  ebs::EbsSimulation sim(ebs::DcPreset(1));
+  const auto& offered = sim.workload().offered_vd;
+
+  RunGroups(sim.fleet(), offered, ebs::MultiVdVmGroups(sim.fleet()), "multi-VD VM");
+  RunGroups(sim.fleet(), offered, ebs::MultiVmNodeGroups(sim.fleet()), "multi-VM node");
+
+  // What throttling costs in queueing delay (the Calcspar latency-spike
+  // effect the paper cites), and what borrowed headroom buys back.
+  ebs::PrintBanner(std::cout, "Throttle backlog: hypervisor queueing delay");
+  TablePrinter backlog_table({"Lent headroom", "VDs with backlog", "max delay p50 (s)",
+                              "max delay p99 (s)"});
+  for (const double headroom_mbps : {0.0, 50.0, 150.0}) {
+    const auto backlog =
+        ebs::ComputeThrottleBacklog(sim.fleet(), offered, 1.0, headroom_mbps);
+    std::vector<double> delays;
+    for (const auto& entry : backlog) {
+      delays.push_back(entry.max_delay_seconds);
+    }
+    backlog_table.AddRow({TablePrinter::Fmt(headroom_mbps, 0) + " MB/s",
+                          std::to_string(backlog.size()),
+                          TablePrinter::Fmt(ebs::Percentile(delays, 50.0), 2),
+                          TablePrinter::Fmt(ebs::Percentile(delays, 99.0), 2)});
+  }
+  backlog_table.Print(std::cout);
+
+  std::cout << "\nPaper: at p=0.8, median RR 43.7% (throughput) and 3.9% (IOPS) for multi-VD "
+               "VMs; 85.9% of samples gain at p=0.8 but 5.2% still lose at p=0.4.\n";
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

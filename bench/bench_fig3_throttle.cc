@@ -1,0 +1,123 @@
+// Fig 3(a)-(c) — throttle events and available resource.
+//
+//  (a) a real multi-VD VM case: a single VD pinned at its cap while the VM
+//      aggregate stays far below the summed cap;
+//  (b) the Resource Available Rate (RAR) distribution during throttling, for
+//      multi-VD VMs and multi-VM nodes;
+//  (c) the CDF of the throttled VD's write-to-read ratio, split by the
+//      triggering resource (throughput vs IOPS).
+
+#include <algorithm>
+#include <iostream>
+
+#include "src/core/simulation.h"
+#include "src/throttle/throttle.h"
+#include "src/util/histogram.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace {
+
+using ebs::TablePrinter;
+
+void Run() {
+  ebs::EbsSimulation sim(ebs::DcPreset(1));
+  const ebs::Fleet& fleet = sim.fleet();
+  const auto& offered = sim.workload().offered_vd;
+
+  ebs::ThrottleConfig config;
+
+  const auto vm_groups = ebs::MultiVdVmGroups(fleet);
+  const auto node_groups = ebs::MultiVmNodeGroups(fleet);
+  const auto vm_analysis = ebs::AnalyzeThrottle(fleet, offered, vm_groups, config);
+  const auto node_analysis = ebs::AnalyzeThrottle(fleet, offered, node_groups, config);
+
+  // --- Fig 3(a): a single-VD throttle case -----------------------------------
+  // Find the multi-VD VM with the most throttled seconds and show its worst
+  // second: VD at cap vs VM far below aggregate cap.
+  ebs::PrintBanner(std::cout, "Fig 3(a): single-VD throttle despite VM headroom");
+  if (!vm_analysis.events.empty()) {
+    const ebs::ThrottleEvent* best = &vm_analysis.events.front();
+    for (const auto& event : vm_analysis.events) {
+      if (event.rar > best->rar) {
+        best = &event;
+      }
+    }
+    const ebs::Vd& vd = fleet.vds[best->vd.value()];
+    TablePrinter table({"Quantity", "Value"});
+    table.AddRow({"Throttled VD", "vd-" + std::to_string(vd.id.value()) + " (" +
+                                      fleet.spec_catalog[vd.spec_index].name + ")"});
+    table.AddRow({"Trigger", best->trigger == ebs::ThrottleTrigger::kThroughput
+                                 ? "throughput"
+                                 : "IOPS"});
+    table.AddRow({"Group RAR at the event", TablePrinter::FmtPercent(best->rar)});
+    table.Print(std::cout);
+  } else {
+    std::cout << "(no throttle events at this cap scale)\n";
+  }
+
+  // --- Fig 3(b): RAR distributions -------------------------------------------
+  ebs::PrintBanner(std::cout, "Fig 3(b): RAR during throttle (median / p90)");
+  TablePrinter rar({"Group", "Resource", "RAR p50", "RAR p90", "events"});
+  auto add_rar = [&rar](const std::string& group, const std::string& kind,
+                        const std::vector<double>& samples) {
+    rar.AddRow({group, kind, TablePrinter::FmtPercent(ebs::Percentile(samples, 50)),
+                TablePrinter::FmtPercent(ebs::Percentile(samples, 90)),
+                std::to_string(samples.size())});
+  };
+  add_rar("multi-VD VM", "throughput", vm_analysis.rar_throughput);
+  add_rar("multi-VD VM", "IOPS", vm_analysis.rar_iops);
+  add_rar("multi-VM node", "throughput", node_analysis.rar_throughput);
+  add_rar("multi-VM node", "IOPS", node_analysis.rar_iops);
+  rar.Print(std::cout);
+  std::cout << "Paper: median RAR 61.6% (throughput) and 74.7% (IOPS) for multi-VD VMs — "
+               "headroom is almost always abundant when a VD throttles.\n";
+
+  // --- Fig 3(c): wr_ratio under throttle -------------------------------------
+  ebs::PrintBanner(std::cout, "Fig 3(c): write-to-read ratio of throttled traffic");
+  TablePrinter wr({"Trigger", "events", "share wr>1/3 (write-dom)", "share |wr|<=1/3 (mixed)",
+                   "share wr<-1/3 (read-dom)"});
+  auto add_wr = [&wr](const std::string& name, const std::vector<double>& samples) {
+    if (samples.empty()) {
+      wr.AddRow({name, "0", "-", "-", "-"});
+      return;
+    }
+    size_t write_dom = 0;
+    size_t mixed = 0;
+    size_t read_dom = 0;
+    for (const double v : samples) {
+      if (v > 1.0 / 3.0) {
+        ++write_dom;
+      } else if (v < -1.0 / 3.0) {
+        ++read_dom;
+      } else {
+        ++mixed;
+      }
+    }
+    const double n = static_cast<double>(samples.size());
+    wr.AddRow({name, std::to_string(samples.size()),
+               TablePrinter::FmtPercent(static_cast<double>(write_dom) / n),
+               TablePrinter::FmtPercent(static_cast<double>(mixed) / n),
+               TablePrinter::FmtPercent(static_cast<double>(read_dom) / n)});
+  };
+  add_wr("throughput", vm_analysis.wr_ratio_throughput);
+  add_wr("IOPS", vm_analysis.wr_ratio_iops);
+  wr.Print(std::cout);
+
+  const double ratio =
+      vm_analysis.iops_events == 0
+          ? 0.0
+          : static_cast<double>(vm_analysis.throughput_events) /
+                static_cast<double>(vm_analysis.iops_events);
+  std::cout << "Throughput-triggered : IOPS-triggered = "
+            << TablePrinter::Fmt(ratio, 1)
+            << " (paper: 14.3x). Paper: only 11.7%/6.9% of events are mixed — throttle is "
+               "driven by one op class, mostly writes.\n";
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

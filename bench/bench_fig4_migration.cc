@@ -1,0 +1,95 @@
+// Fig 4(a)/(b) — frequent segment migration and importer-selection policies.
+//
+//  (a) per-cluster proportion of "frequent" migrations (a BS both imports and
+//      exports within one detection window) under the production balancer;
+//  (b) normalized interval between consecutive migrations of a segment, for
+//      importer policies S1 Random, S2 MinTraffic (production), S3
+//      MinVariance, S4 Lunule (linear fit), S5 Ideal (oracle). Expected:
+//      S1 ~= S2, S4 can be worse, S5 roughly doubles the interval.
+
+#include <iostream>
+
+#include "src/balancer/balancer.h"
+#include "src/core/simulation.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace {
+
+using ebs::TablePrinter;
+
+void Run() {
+  // Short periods -> ~85 balancing periods, enough to resolve the
+  // migration-interval distribution (the paper has 1440 30 s periods).
+  ebs::EbsSimulation sim(ebs::StorageStudyPreset());
+  const ebs::Fleet& fleet = sim.fleet();
+  const ebs::MetricDataset& metrics = sim.metrics();
+
+  // --- Fig 4(a): frequent migrations per cluster ------------------------------
+  ebs::PrintBanner(std::cout, "Fig 4(a): proportion of frequent migrations per cluster");
+  TablePrinter freq_table({"Window", "p50 across clusters", "max", "clusters w/o frequent"});
+  for (const size_t window_periods : {1UL, 2UL, 4UL}) {
+    std::vector<double> proportions;
+    size_t zero_clusters = 0;
+    for (const ebs::StorageCluster& cluster : fleet.storage_clusters) {
+      ebs::BalancerConfig config;
+      config.period_steps = 15;
+      config.policy = ebs::ImporterPolicy::kMinTraffic;
+      ebs::InterBsBalancer balancer(fleet, metrics, cluster.id, config);
+      const auto result = balancer.Run();
+      const double proportion =
+          ebs::FrequentMigrationProportion(result.migrations, window_periods);
+      proportions.push_back(proportion);
+      if (proportion == 0.0) {
+        ++zero_clusters;
+      }
+    }
+    freq_table.AddRow({std::to_string(window_periods) + " period(s)",
+                       TablePrinter::FmtPercent(ebs::Percentile(proportions, 50)),
+                       TablePrinter::FmtPercent(
+                           proportions.empty()
+                               ? 0.0
+                               : *std::max_element(proportions.begin(), proportions.end())),
+                       std::to_string(zero_clusters) + "/" +
+                           std::to_string(proportions.size())});
+  }
+  freq_table.Print(std::cout);
+  std::cout << "Paper: 56.8% of clusters show no frequent migration at the 15 s scale, but "
+               "one cluster reaches 59.2%.\n";
+
+  // --- Fig 4(b): importer policies -------------------------------------------
+  ebs::PrintBanner(std::cout, "Fig 4(b): normalized migration interval by importer policy");
+  TablePrinter interval_table({"Policy", "interval p50", "interval p25", "migrations"});
+  for (const ebs::ImporterPolicy policy :
+       {ebs::ImporterPolicy::kRandom, ebs::ImporterPolicy::kMinTraffic,
+        ebs::ImporterPolicy::kMinVariance, ebs::ImporterPolicy::kLunule,
+        ebs::ImporterPolicy::kIdeal}) {
+    std::vector<double> intervals;
+    size_t migrations = 0;
+    for (const ebs::StorageCluster& cluster : fleet.storage_clusters) {
+      ebs::BalancerConfig config;
+      config.period_steps = 15;
+      config.policy = policy;
+      ebs::InterBsBalancer balancer(fleet, metrics, cluster.id, config);
+      const auto result = balancer.Run();
+      migrations += result.migrations.size();
+      const auto cluster_intervals =
+          ebs::MigrationIntervals(result.migrations, result.periods);
+      intervals.insert(intervals.end(), cluster_intervals.begin(), cluster_intervals.end());
+    }
+    interval_table.AddRow({ebs::ImporterPolicyName(policy),
+                           TablePrinter::Fmt(ebs::Percentile(intervals, 50), 2),
+                           TablePrinter::Fmt(ebs::Percentile(intervals, 25), 2),
+                           std::to_string(migrations)});
+  }
+  interval_table.Print(std::cout);
+  std::cout << "Paper medians: Random 0.24, MinTraffic 0.24, Lunule 0.14 (worse!), Ideal "
+               "0.48 (2x the production heuristic).\n";
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Fig 6 — LBA-level hotspots (§7.1-§7.2).
+//
+//  (a) access rate of each VD's hottest block vs block size;
+//  (b) the hottest block's share of the VD's LBA space;
+//  (c) write-to-read ratio of the hottest block (mostly write-dominant);
+//  (d) hot rate: temporal continuity of the hottest block (~Gaussian, mean
+//      ~50%).
+
+#include <iostream>
+
+#include "src/cache/hotspot.h"
+#include "src/core/simulation.h"
+#include "src/util/histogram.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace {
+
+using ebs::TablePrinter;
+
+void Run() {
+  ebs::EbsSimulation sim(ebs::DcPreset(1));
+  const ebs::Fleet& fleet = sim.fleet();
+  const ebs::TraceDataset& traces = sim.traces();
+  const ebs::VdTraceIndex index(fleet, traces);
+
+  // VDs with enough sampled IOs for a meaningful per-VD distribution.
+  const auto vds = index.ActiveVds(/*min_records=*/100);
+
+  ebs::PrintBanner(std::cout, "Fig 6: hottest-block statistics across " +
+                                  std::to_string(vds.size()) + " active VDs");
+  TablePrinter table({"Block size", "access rate p50", "LBA share p50", "touched share p50",
+                      "wr>1/3 share", "wr<-1/3 share", "hot rate mean"});
+  for (const uint64_t block_mib : {64ULL, 256ULL, 1024ULL, 2048ULL}) {
+    std::vector<double> access_rates;
+    std::vector<double> size_fractions;
+    std::vector<double> touched_fractions;
+    std::vector<double> hot_rates;
+    size_t write_dominant = 0;
+    size_t read_dominant = 0;
+    size_t counted = 0;
+    for (const ebs::VdId vd : vds) {
+      const auto stats = ebs::AnalyzeHottestBlock(
+          index.ForVd(vd), fleet.vds[vd.value()].capacity_bytes, block_mib * ebs::kMiB,
+          traces.window_seconds, /*subwindow_seconds=*/60.0);
+      if (!stats) {
+        continue;
+      }
+      ++counted;
+      access_rates.push_back(stats->access_rate);
+      size_fractions.push_back(stats->size_fraction);
+      touched_fractions.push_back(stats->touched_fraction);
+      hot_rates.push_back(stats->hot_rate);
+      if (stats->wr_ratio > 1.0 / 3.0) {
+        ++write_dominant;
+      } else if (stats->wr_ratio < -1.0 / 3.0) {
+        ++read_dominant;
+      }
+    }
+    const double n = std::max<double>(1.0, static_cast<double>(counted));
+    table.AddRow({std::to_string(block_mib) + " MiB",
+                  TablePrinter::FmtPercent(ebs::Percentile(access_rates, 50)),
+                  TablePrinter::FmtPercent(ebs::Percentile(size_fractions, 50)),
+                  TablePrinter::FmtPercent(ebs::Percentile(touched_fractions, 50)),
+                  TablePrinter::FmtPercent(static_cast<double>(write_dominant) / n),
+                  TablePrinter::FmtPercent(static_cast<double>(read_dominant) / n),
+                  TablePrinter::FmtPercent(ebs::Mean(hot_rates))});
+  }
+  table.Print(std::cout);
+
+  // Fig 6(d) detail: the hot-rate CDF at 64 MiB (paper: ~Gaussian, mean 50%).
+  {
+    std::vector<double> hot_rates;
+    for (const ebs::VdId vd : vds) {
+      const auto stats = ebs::AnalyzeHottestBlock(
+          index.ForVd(vd), fleet.vds[vd.value()].capacity_bytes, 64ULL * ebs::kMiB,
+          traces.window_seconds, 60.0);
+      if (stats) {
+        hot_rates.push_back(stats->hot_rate);
+      }
+    }
+    const ebs::EmpiricalCdf cdf(std::move(hot_rates));
+    std::cout << "Hot-rate CDF @64MiB: " << ebs::FormatCdfCurve(cdf) << "\n";
+  }
+  std::cout << "\nPaper: a 64 MiB hottest block covers ~3% of the LBA yet draws ~18.2% of "
+               "accesses; 93.9% of hottest blocks are write-dominant, only 5.5% read-"
+               "dominant; hot rate ~Gaussian with mean 50%.\n";
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Micro-benchmarks (google-benchmark) for the toolkit's hot paths: the
+// distribution samplers, cache policies, fleet synthesis, predictor fits and
+// the balancer step. These quantify the costs the paper's proposals trade
+// against (e.g. per-IO dispatch overhead, predictor retraining cost).
+
+#include <benchmark/benchmark.h>
+
+#include "src/cache/policy.h"
+#include "src/ml/arima.h"
+#include "src/ml/gbt.h"
+#include "src/topology/fleet.h"
+#include "src/util/distributions.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/workload/generator.h"
+
+namespace {
+
+void BM_ZipfSample(benchmark::State& state) {
+  ebs::Rng rng(1);
+  const ebs::ZipfDistribution zipf(1ULL << 23, 1.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_RngGaussian(benchmark::State& state) {
+  ebs::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextGaussian());
+  }
+}
+BENCHMARK(BM_RngGaussian);
+
+void BM_CacheAccess(benchmark::State& state) {
+  const auto policy = static_cast<ebs::CachePolicy>(state.range(0));
+  auto cache = ebs::MakeCache(policy, 16384);
+  ebs::Rng rng(7);
+  const ebs::ZipfDistribution zipf(1 << 20, 1.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache->Access(zipf.Sample(rng)));
+  }
+  state.SetLabel(ebs::CachePolicyName(policy));
+}
+BENCHMARK(BM_CacheAccess)
+    ->Arg(static_cast<int>(ebs::CachePolicy::kFifo))
+    ->Arg(static_cast<int>(ebs::CachePolicy::kLru))
+    ->Arg(static_cast<int>(ebs::CachePolicy::kLfu))
+    ->Arg(static_cast<int>(ebs::CachePolicy::kClock))
+    ->Arg(static_cast<int>(ebs::CachePolicy::kTwoQ))
+    ->Arg(static_cast<int>(ebs::CachePolicy::kFrozenHot));
+
+void BM_FleetBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    ebs::FleetConfig config;
+    config.user_count = static_cast<uint32_t>(state.range(0));
+    benchmark::DoNotOptimize(ebs::BuildFleet(config).vds.size());
+  }
+}
+BENCHMARK(BM_FleetBuild)->Arg(20)->Arg(80);
+
+void BM_WorkloadGenerate(benchmark::State& state) {
+  ebs::FleetConfig fleet_config;
+  fleet_config.user_count = 20;
+  const ebs::Fleet fleet = ebs::BuildFleet(fleet_config);
+  ebs::WorkloadConfig config;
+  config.window_steps = 120;
+  for (auto _ : state) {
+    const ebs::WorkloadGenerator generator(fleet, config);
+    benchmark::DoNotOptimize(generator.Generate().traces.records.size());
+  }
+}
+BENCHMARK(BM_WorkloadGenerate)->Unit(benchmark::kMillisecond);
+
+void BM_ArimaFit(benchmark::State& state) {
+  ebs::Rng rng(11);
+  std::vector<double> series(static_cast<size_t>(state.range(0)));
+  double level = 10.0;
+  for (double& v : series) {
+    level = 0.9 * level + rng.NextGaussian();
+    v = level;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ebs::AutoFitArima(series, {}).aic);
+  }
+}
+BENCHMARK(BM_ArimaFit)->Arg(60)->Arg(120)->Unit(benchmark::kMicrosecond);
+
+void BM_GbtFit(benchmark::State& state) {
+  ebs::Rng rng(13);
+  const size_t rows = static_cast<size_t>(state.range(0));
+  std::vector<std::vector<double>> x(rows, std::vector<double>(4));
+  std::vector<double> y(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    for (double& f : x[r]) {
+      f = rng.NextGaussian();
+    }
+    y[r] = x[r][0] * 2.0 + x[r][3] + 0.1 * rng.NextGaussian();
+  }
+  ebs::GbtOptions options;
+  options.trees = 40;
+  for (auto _ : state) {
+    ebs::GbtModel model;
+    model.Fit(x, y, options);
+    benchmark::DoNotOptimize(model.tree_count());
+  }
+}
+BENCHMARK(BM_GbtFit)->Arg(200)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_Percentile(benchmark::State& state) {
+  ebs::Rng rng(3);
+  std::vector<double> values(static_cast<size_t>(state.range(0)));
+  for (double& v : values) {
+    v = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ebs::Percentile(values, 99.0));
+  }
+}
+BENCHMARK(BM_Percentile)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

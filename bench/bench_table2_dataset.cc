@@ -1,0 +1,82 @@
+// Table 2 — high-level summary of the collected datasets.
+//
+// Prints our scaled fleet's counterpart of each Table 2 row. Absolute counts
+// are ~300x smaller than the paper's production fleet by design; the ratios
+// (VM/user tails, write:read byte ratio, write:read trace ratio) are the
+// comparable part.
+
+#include <algorithm>
+#include <iostream>
+
+#include "src/core/simulation.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace {
+
+using ebs::EbsSimulation;
+using ebs::OpType;
+using ebs::TablePrinter;
+
+void Run() {
+  EbsSimulation sim(ebs::DcPreset(1));
+  const ebs::Fleet& fleet = sim.fleet();
+
+  // Per-user VM / VD counts.
+  std::vector<double> vms_per_user;
+  std::vector<double> vds_per_user;
+  for (const ebs::User& user : fleet.users) {
+    vms_per_user.push_back(static_cast<double>(user.vms.size()));
+    size_t vds = 0;
+    for (const ebs::VmId vm : user.vms) {
+      vds += fleet.vms[vm.value()].vds.size();
+    }
+    vds_per_user.push_back(static_cast<double>(vds));
+  }
+  std::sort(vms_per_user.begin(), vms_per_user.end());
+  std::sort(vds_per_user.begin(), vds_per_user.end());
+
+  const double write_bytes = sim.workload().TotalDeliveredBytes(OpType::kWrite);
+  const double read_bytes = sim.workload().TotalDeliveredBytes(OpType::kRead);
+  const uint64_t write_traces = sim.traces().CountOps(OpType::kWrite);
+  const uint64_t read_traces = sim.traces().CountOps(OpType::kRead);
+
+  ebs::PrintBanner(std::cout, "Table 2: dataset summary (scaled fleet; paper values for ratio "
+                              "comparison)");
+  TablePrinter table({"Statistic", "Ours", "Paper"});
+  table.AddRow({"Users / VMs / VDs",
+                std::to_string(fleet.users.size()) + " / " + std::to_string(fleet.vms.size()) +
+                    " / " + std::to_string(fleet.vds.size()),
+                "10k / 60k / 140k"});
+  table.AddRow({"Median / max VMs per user",
+                TablePrinter::Fmt(ebs::PercentileSorted(vms_per_user, 50.0), 0) + " / " +
+                    TablePrinter::Fmt(vms_per_user.back(), 0),
+                "1 / 9879"});
+  table.AddRow({"Median / max VDs per user",
+                TablePrinter::Fmt(ebs::PercentileSorted(vds_per_user, 50.0), 0) + " / " +
+                    TablePrinter::Fmt(vds_per_user.back(), 0),
+                "2 / 59225"});
+  table.AddRow({"Write / read traffic (GB)",
+                TablePrinter::Fmt(write_bytes / 1e9, 1) + " / " +
+                    TablePrinter::Fmt(read_bytes / 1e9, 1),
+                "21.7 PiB / 6.5 PiB"});
+  table.AddRow({"Write:read byte ratio", TablePrinter::Fmt(write_bytes / read_bytes, 2),
+                TablePrinter::Fmt(21.7 / 6.5, 2)});
+  table.AddRow({"Write / read traces (k)",
+                TablePrinter::Fmt(static_cast<double>(write_traces) / 1e3, 1) + " / " +
+                    TablePrinter::Fmt(static_cast<double>(read_traces) / 1e3, 1),
+                "247.1 M / 56.9 M"});
+  table.AddRow({"Write:read trace ratio",
+                TablePrinter::Fmt(static_cast<double>(write_traces) /
+                                      std::max<uint64_t>(1, read_traces),
+                                  2),
+                TablePrinter::Fmt(247.1 / 56.9, 2)});
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table 4 — VM-level skewness and traffic share by application type.
+//
+// Expected shape: BigData has the largest traffic share but the mildest
+// skewness; Docker/Database among the most skewed; skewness varies strongly
+// across applications.
+
+#include <iostream>
+
+#include "src/analysis/skewness.h"
+#include "src/core/simulation.h"
+#include "src/util/table.h"
+
+namespace {
+
+using ebs::TablePrinter;
+
+void Run() {
+  ebs::EbsSimulation sim(ebs::DcPreset(1));
+  const auto rows = ebs::ComputeAppSkewness(sim.fleet(), sim.VmSeries());
+
+  ebs::PrintBanner(std::cout, "Table 4: skewness by VM application type (read / write, %)");
+  TablePrinter table({"App", "1%-CCR", "20%-CCR", "Traffic share"});
+  for (const ebs::AppSkewness& row : rows) {
+    table.AddRow({ebs::AppTypeName(row.app),
+                  TablePrinter::FmtPair(row.ccr1[0] * 100.0, row.ccr1[1] * 100.0),
+                  TablePrinter::FmtPair(row.ccr20[0] * 100.0, row.ccr20[1] * 100.0),
+                  TablePrinter::FmtPair(row.traffic_share[0] * 100.0,
+                                        row.traffic_share[1] * 100.0)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper reference: BigData share 37.4/39.6 with 1%-CCR 10.6/11.4 (least "
+               "skewed); Docker 1%-CCR 60.0/40.7 (most skewed).\n";
+}
+
+}  // namespace
+
+int main() {
+  Run();
+  return 0;
+}

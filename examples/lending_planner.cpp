@@ -1,0 +1,120 @@
+// Lending planner: evaluates the §5 "limited lending" mitigation for every
+// multi-VD VM in the fleet and recommends a lending rate.
+//
+//   $ ./examples/lending_planner
+//
+// For each candidate lending rate p it simulates Algorithm 2 over the
+// offered load and reports how many sharing groups improve, stay flat, or
+// regress — then prints the per-group recommendation at the best fleet-wide
+// rate.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "src/core/simulation.h"
+#include "src/throttle/throttle.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace {
+
+using ebs::TablePrinter;
+
+}  // namespace
+
+int main() {
+  ebs::EbsSimulation sim(ebs::DcPreset(1));
+  const ebs::Fleet& fleet = sim.fleet();
+  const auto& offered = sim.workload().offered_vd;
+  const auto groups = ebs::MultiVdVmGroups(fleet);
+
+  std::cout << "Lending planner: " << groups.size() << " multi-VD VMs analyzed.\n";
+
+  // Baseline throttle pressure.
+  const auto analysis = ebs::AnalyzeThrottle(fleet, offered, groups, {});
+  std::cout << "Throttle events without lending: " << analysis.events.size() << " ("
+            << analysis.throughput_events << " throughput, " << analysis.iops_events
+            << " IOPS). Median RAR during throttling: "
+            << TablePrinter::FmtPercent(ebs::Percentile(analysis.rar_throughput, 50.0))
+            << " — plenty of headroom to lend.\n";
+
+  ebs::PrintBanner(std::cout, "Fleet-wide lending sweep");
+  TablePrinter sweep({"p", "median gain", "groups improved", "groups regressed"});
+  double best_p = 0.0;
+  double best_median = -1.0;
+  for (const double p : {0.2, 0.4, 0.6, 0.8}) {
+    ebs::ThrottleConfig config;
+    config.lending_rate = p;
+    const auto gains = ebs::SimulateLending(fleet, offered, groups, config);
+    size_t improved = 0;
+    size_t regressed = 0;
+    for (const double g : gains) {
+      improved += g > 0.0 ? 1 : 0;
+      regressed += g < 0.0 ? 1 : 0;
+    }
+    const double median = ebs::Percentile(gains, 50.0);
+    if (median > best_median) {
+      best_median = median;
+      best_p = p;
+    }
+    sweep.AddRow({TablePrinter::Fmt(p, 1), TablePrinter::Fmt(median, 3),
+                  std::to_string(improved) + "/" + std::to_string(gains.size()),
+                  std::to_string(regressed) + "/" + std::to_string(gains.size())});
+  }
+  sweep.Print(std::cout);
+  std::cout << "Recommended fleet-wide lending rate: p = " << TablePrinter::Fmt(best_p, 1)
+            << "\n";
+
+  // Per-group detail at the recommended rate: the throttled VD with the most
+  // events per group.
+  ebs::ThrottleConfig config;
+  config.lending_rate = best_p;
+  const auto gains = ebs::SimulateLending(fleet, offered, groups, config);
+
+  ebs::PrintBanner(std::cout, "Most throttled sharing groups at the recommended rate");
+  // Count events per group (by the group's first VD id as key).
+  std::vector<std::pair<size_t, size_t>> events_per_group(groups.size(), {0, 0});
+  for (size_t g = 0; g < groups.size(); ++g) {
+    events_per_group[g].second = g;
+    for (const auto& event : analysis.events) {
+      if (std::find(groups[g].vds.begin(), groups[g].vds.end(), event.vd) !=
+          groups[g].vds.end()) {
+        ++events_per_group[g].first;
+      }
+    }
+  }
+  std::sort(events_per_group.begin(), events_per_group.end(), std::greater<>());
+  TablePrinter detail({"VM", "VDs", "Throttled VD-seconds", "Lending gain"});
+  size_t shown = 0;
+  size_t gain_cursor = 0;
+  // SimulateLending returns gains only for groups with any throttling, in
+  // group order; rebuild that mapping.
+  std::vector<double> group_gain(groups.size(), 0.0);
+  {
+    ebs::ThrottleConfig probe;
+    probe.lending_rate = best_p;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      const std::vector<ebs::SharingGroup> single = {groups[g]};
+      const auto one = ebs::SimulateLending(fleet, offered, single, probe);
+      group_gain[g] = one.empty() ? 0.0 : one[0];
+    }
+  }
+  (void)gain_cursor;
+  (void)gains;
+  for (const auto& [events, g] : events_per_group) {
+    if (events == 0 || shown >= 5) {
+      break;
+    }
+    const ebs::VmId vm = fleet.vds[groups[g].vds[0].value()].vm;
+    detail.AddRow({"vm-" + std::to_string(vm.value()),
+                   std::to_string(groups[g].vds.size()), std::to_string(events),
+                   TablePrinter::Fmt(group_gain[g], 3)});
+    ++shown;
+  }
+  detail.Print(std::cout);
+  std::cout << "\nGains are the normalized reduction in throttled VD-seconds; positive is\n"
+               "better. Groups with negative gain need traffic prediction before lending\n"
+               "(their lenders burst into their own reduced caps).\n";
+  return 0;
+}

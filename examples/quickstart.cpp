@@ -1,0 +1,58 @@
+// Quickstart: build a simulated EBS deployment, synthesize its traffic, and
+// print the headline skewness statistics.
+//
+//   $ ./examples/quickstart [seed]
+//
+// This is the five-minute tour of the public API: SimulationConfig ->
+// EbsSimulation -> rollups -> ComputeLevelSkewness.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/analysis/skewness.h"
+#include "src/core/simulation.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  ebs::SimulationConfig config = ebs::DcPreset(1);
+  if (argc > 1) {
+    config.fleet.seed = std::strtoull(argv[1], nullptr, 10);
+    config.workload.seed = config.fleet.seed * 31 + 7;
+  }
+
+  std::cout << "Building fleet and synthesizing traffic (seed " << config.fleet.seed
+            << ")...\n";
+  ebs::EbsSimulation sim(config);
+  const ebs::Fleet& fleet = sim.fleet();
+
+  std::cout << "Fleet: " << fleet.users.size() << " users, " << fleet.vms.size() << " VMs, "
+            << fleet.vds.size() << " VDs, " << fleet.qps.size() << " QPs, "
+            << fleet.nodes.size() << " compute nodes, " << fleet.storage_nodes.size()
+            << " storage nodes, " << fleet.segments.size() << " segments.\n";
+  std::cout << "Sampled traces: " << sim.traces().records.size() << " IOs over "
+            << sim.traces().window_seconds << " s.\n";
+
+  const double write_gb = sim.workload().TotalDeliveredBytes(ebs::OpType::kWrite) / 1e9;
+  const double read_gb = sim.workload().TotalDeliveredBytes(ebs::OpType::kRead) / 1e9;
+  std::cout << "Delivered traffic: " << ebs::TablePrinter::Fmt(write_gb, 1) << " GB written, "
+            << ebs::TablePrinter::Fmt(read_gb, 1) << " GB read.\n";
+
+  ebs::PrintBanner(std::cout, "Skewness by aggregation level (read / write)");
+  ebs::TablePrinter table({"Level", "1%-CCR", "20%-CCR", "50%ile P2A"});
+  auto add = [&table](const char* level, const ebs::LevelSkewness& skew) {
+    table.AddRow({level,
+                  ebs::TablePrinter::FmtPair(skew.ccr1[0] * 100, skew.ccr1[1] * 100),
+                  ebs::TablePrinter::FmtPair(skew.ccr20[0] * 100, skew.ccr20[1] * 100),
+                  ebs::TablePrinter::FmtPair(skew.p2a50[0], skew.p2a50[1])});
+  };
+  add("ComputeNode", ebs::ComputeLevelSkewness(sim.CnSeries()));
+  add("VM", ebs::ComputeLevelSkewness(sim.VmSeries()));
+  add("StorageNode", ebs::ComputeLevelSkewness(sim.SnSeries()));
+  add("Segment", ebs::ComputeLevelSkewness(sim.SegSeries()));
+  table.Print(std::cout);
+
+  std::cout << "\nSkewness is here to stay: the top 1% of VMs carry a multiple of their\n"
+               "fair share, reads dwarf writes in burstiness, and per-segment hotspots\n"
+               "persist through every layer of load balancing.\n";
+  return 0;
+}

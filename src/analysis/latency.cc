@@ -1,0 +1,37 @@
+#include "src/analysis/latency.h"
+
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace ebs {
+
+ComponentLatencyStats AnalyzeComponentLatency(const TraceDataset& traces) {
+  ComponentLatencyStats stats;
+  std::array<std::vector<double>, kOpTypeCount> totals;
+  std::array<std::array<RunningStats, kStackComponentCount>, kOpTypeCount> shares;
+
+  for (const TraceRecord& r : traces.records) {
+    const int op = static_cast<int>(r.op);
+    const double total = r.latency.Total();
+    if (total <= 0.0) {
+      continue;
+    }
+    totals[op].push_back(total);
+    for (int c = 0; c < kStackComponentCount; ++c) {
+      shares[op][c].Add(r.latency.component_us[c] / total);
+    }
+  }
+
+  for (int op = 0; op < kOpTypeCount; ++op) {
+    stats.samples[op] = totals[op].size();
+    stats.p50_us[op] = Percentile(totals[op], 50.0);
+    stats.p99_us[op] = Percentile(totals[op], 99.0);
+    for (int c = 0; c < kStackComponentCount; ++c) {
+      stats.mean_share[op][c] = shares[op][c].mean();
+    }
+  }
+  return stats;
+}
+
+}  // namespace ebs

@@ -1,0 +1,27 @@
+// Per-component latency accounting over the trace dataset — DiTing's "where
+// does the time go" view across the five stack components (§2.3).
+
+#ifndef SRC_ANALYSIS_LATENCY_H_
+#define SRC_ANALYSIS_LATENCY_H_
+
+#include <array>
+
+#include "src/topology/latency.h"
+#include "src/trace/records.h"
+
+namespace ebs {
+
+struct ComponentLatencyStats {
+  // Mean share of end-to-end latency contributed by each component, per op.
+  std::array<std::array<double, kStackComponentCount>, kOpTypeCount> mean_share = {};
+  // Latency percentiles of the end-to-end path, per op (microseconds).
+  std::array<double, kOpTypeCount> p50_us = {};
+  std::array<double, kOpTypeCount> p99_us = {};
+  std::array<uint64_t, kOpTypeCount> samples = {};
+};
+
+ComponentLatencyStats AnalyzeComponentLatency(const TraceDataset& traces);
+
+}  // namespace ebs
+
+#endif  // SRC_ANALYSIS_LATENCY_H_

@@ -1,0 +1,96 @@
+#include "src/analysis/skewness.h"
+
+#include <algorithm>
+
+#include "src/util/stats.h"
+
+namespace ebs {
+
+std::vector<double> EntityTotals(std::span<const RwSeries> entities, OpType op) {
+  std::vector<double> totals;
+  totals.reserve(entities.size());
+  for (const RwSeries& e : entities) {
+    totals.push_back(e.Bytes(op).SumAll());
+  }
+  return totals;
+}
+
+std::vector<double> EntityP2a(std::span<const RwSeries> entities, OpType op) {
+  std::vector<double> p2a;
+  for (const RwSeries& e : entities) {
+    const double value = e.Bytes(op).PeakToAverage();
+    if (value > 0.0) {
+      p2a.push_back(value);
+    }
+  }
+  return p2a;
+}
+
+LevelSkewness ComputeLevelSkewness(std::span<const RwSeries> entities) {
+  LevelSkewness out;
+  for (const OpType op : {OpType::kRead, OpType::kWrite}) {
+    const int i = static_cast<int>(op);
+    const std::vector<double> totals = EntityTotals(entities, op);
+    out.ccr1[i] = Ccr(totals, 0.01);
+    out.ccr20[i] = Ccr(totals, 0.20);
+    const std::vector<double> p2a = EntityP2a(entities, op);
+    out.p2a50[i] = Percentile(p2a, 50.0);
+  }
+  return out;
+}
+
+std::vector<AppSkewness> ComputeAppSkewness(const Fleet& fleet,
+                                            std::span<const RwSeries> vm_series) {
+  std::vector<AppSkewness> out(kAppTypeCount);
+  RwPair fleet_total = {};
+  std::array<std::vector<double>, kAppTypeCount> read_totals;
+  std::array<std::vector<double>, kAppTypeCount> write_totals;
+
+  for (const Vm& vm : fleet.vms) {
+    const RwSeries& series = vm_series[vm.id.value()];
+    const double read = series.read_bytes.SumAll();
+    const double write = series.write_bytes.SumAll();
+    const int app = static_cast<int>(vm.app);
+    read_totals[app].push_back(read);
+    write_totals[app].push_back(write);
+    fleet_total[0] += read;
+    fleet_total[1] += write;
+  }
+
+  for (int app = 0; app < kAppTypeCount; ++app) {
+    AppSkewness& row = out[app];
+    row.app = static_cast<AppType>(app);
+    row.ccr1 = {Ccr(read_totals[app], 0.01), Ccr(write_totals[app], 0.01)};
+    row.ccr20 = {Ccr(read_totals[app], 0.20), Ccr(write_totals[app], 0.20)};
+    const double app_read = Sum(read_totals[app]);
+    const double app_write = Sum(write_totals[app]);
+    row.traffic_share = {fleet_total[0] > 0.0 ? app_read / fleet_total[0] : 0.0,
+                         fleet_total[1] > 0.0 ? app_write / fleet_total[1] : 0.0};
+  }
+  return out;
+}
+
+double WindowNormalizedCoV(std::span<const RwSeries> entities, OpType op, size_t begin,
+                           size_t end) {
+  std::vector<double> totals;
+  totals.reserve(entities.size());
+  for (const RwSeries& e : entities) {
+    const TimeSeries& series = e.Bytes(op);
+    double sum = 0.0;
+    for (size_t t = begin; t < end && t < series.size(); ++t) {
+      sum += series[t];
+    }
+    totals.push_back(sum);
+  }
+  return NormalizedCoV(totals);
+}
+
+double WriteToReadRatio(double write, double read) {
+  const double total = write + read;
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  return (write - read) / total;
+}
+
+}  // namespace ebs

@@ -1,0 +1,151 @@
+#include "src/cache/hotspot.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/analysis/skewness.h"
+
+namespace ebs {
+
+VdTraceIndex::VdTraceIndex(const Fleet& fleet, const TraceDataset& traces) {
+  per_vd_.resize(fleet.vds.size());
+  for (const TraceRecord& r : traces.records) {
+    per_vd_[r.vd.value()].push_back(&r);
+  }
+}
+
+std::span<const TraceRecord* const> VdTraceIndex::ForVd(VdId vd) const {
+  return per_vd_[vd.value()];
+}
+
+std::vector<VdId> VdTraceIndex::ActiveVds(size_t min_records) const {
+  std::vector<std::pair<size_t, uint32_t>> sized;
+  for (uint32_t v = 0; v < per_vd_.size(); ++v) {
+    if (per_vd_[v].size() >= min_records) {
+      sized.emplace_back(per_vd_[v].size(), v);
+    }
+  }
+  std::sort(sized.begin(), sized.end(), std::greater<>());
+  std::vector<VdId> out;
+  out.reserve(sized.size());
+  for (const auto& [count, v] : sized) {
+    out.push_back(VdId(v));
+  }
+  return out;
+}
+
+std::optional<HotBlockStats> AnalyzeHottestBlock(std::span<const TraceRecord* const> vd_traces,
+                                                 uint64_t capacity_bytes, uint64_t block_bytes,
+                                                 double window_seconds,
+                                                 double subwindow_seconds) {
+  if (vd_traces.empty() || block_bytes == 0 || capacity_bytes == 0) {
+    return std::nullopt;
+  }
+
+  std::unordered_map<uint64_t, uint64_t> block_counts;
+  std::unordered_set<uint64_t> touched_chunks;  // 1 MiB granularity
+  for (const TraceRecord* r : vd_traces) {
+    ++block_counts[r->offset / block_bytes];
+    touched_chunks.insert(r->offset / kMiB);
+  }
+  uint64_t hottest_block = 0;
+  uint64_t hottest_count = 0;
+  for (const auto& [block, count] : block_counts) {
+    if (count > hottest_count || (count == hottest_count && block < hottest_block)) {
+      hottest_count = count;
+      hottest_block = block;
+    }
+  }
+
+  HotBlockStats stats;
+  stats.block_index = hottest_block;
+  stats.block_bytes = block_bytes;
+  stats.total_accesses = vd_traces.size();
+  stats.block_accesses = hottest_count;
+  stats.access_rate =
+      static_cast<double>(hottest_count) / static_cast<double>(vd_traces.size());
+  stats.size_fraction =
+      static_cast<double>(block_bytes) / static_cast<double>(capacity_bytes);
+  const double touched_bytes =
+      static_cast<double>(touched_chunks.size()) * static_cast<double>(kMiB);
+  stats.touched_fraction =
+      touched_bytes <= 0.0
+          ? 0.0
+          : std::min(1.0, static_cast<double>(block_bytes) / touched_bytes);
+
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  const size_t subwindows =
+      std::max<size_t>(1, static_cast<size_t>(window_seconds / subwindow_seconds));
+  std::vector<uint64_t> sub_total(subwindows, 0);
+  std::vector<uint64_t> sub_block(subwindows, 0);
+  for (const TraceRecord* r : vd_traces) {
+    const bool in_block = r->offset / block_bytes == hottest_block;
+    if (in_block) {
+      (r->op == OpType::kRead ? reads : writes) += 1;
+    }
+    const size_t w = std::min(subwindows - 1,
+                              static_cast<size_t>(r->timestamp / subwindow_seconds));
+    ++sub_total[w];
+    if (in_block) {
+      ++sub_block[w];
+    }
+  }
+  stats.wr_ratio = WriteToReadRatio(static_cast<double>(writes), static_cast<double>(reads));
+
+  size_t active_windows = 0;
+  size_t hot_windows = 0;
+  for (size_t w = 0; w < subwindows; ++w) {
+    if (sub_total[w] == 0) {
+      continue;
+    }
+    ++active_windows;
+    const double rate =
+        static_cast<double>(sub_block[w]) / static_cast<double>(sub_total[w]);
+    if (rate >= stats.access_rate) {
+      ++hot_windows;
+    }
+  }
+  stats.hot_rate =
+      active_windows == 0 ? 0.0
+                          : static_cast<double>(hot_windows) / static_cast<double>(active_windows);
+  return stats;
+}
+
+CacheReplayResult ReplayVdCache(std::span<const TraceRecord* const> vd_traces,
+                                uint64_t capacity_bytes, uint64_t block_bytes,
+                                CachePolicy policy) {
+  CacheReplayResult result;
+  if (vd_traces.empty() || block_bytes == 0) {
+    return result;
+  }
+  const size_t capacity_pages = static_cast<size_t>(block_bytes / kPageBytes);
+
+  std::unique_ptr<PageCache> cache;
+  if (policy == CachePolicy::kFrozenHot) {
+    const auto stats = AnalyzeHottestBlock(vd_traces, capacity_bytes, block_bytes,
+                                           /*window_seconds=*/3600.0,
+                                           /*subwindow_seconds=*/3600.0);
+    const uint64_t first_page =
+        stats ? stats->block_index * (block_bytes / kPageBytes) : 0;
+    cache = MakeFrozenCache(first_page, capacity_pages);
+  } else {
+    cache = MakeCache(policy, capacity_pages);
+  }
+
+  uint64_t hits = 0;
+  uint64_t accesses = 0;
+  for (const TraceRecord* r : vd_traces) {
+    const uint64_t start_page = r->offset / kPageBytes;
+    const size_t pages = std::max<size_t>(1, r->size_bytes / kPageBytes);
+    hits += AccessRange(*cache, start_page, pages);
+    accesses += pages;
+  }
+  result.page_accesses = accesses;
+  result.hit_ratio =
+      accesses == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(accesses);
+  return result;
+}
+
+}  // namespace ebs

@@ -1,0 +1,104 @@
+#include "src/core/simulation.h"
+
+namespace ebs {
+
+SimulationConfig DcPreset(int dc_index) {
+  SimulationConfig config;
+  config.fleet.seed = 1000 + static_cast<uint64_t>(dc_index);
+  config.workload.seed = 2000 + static_cast<uint64_t>(dc_index);
+  config.fleet.user_count = 160;
+  switch (dc_index) {
+    case 2:
+      // A flatter tenant mix (the paper's DC-2 shows the mildest VM skew).
+      config.fleet.app_vm_weights = {0.22, 0.24, 0.18, 0.05, 0.19, 0.12};
+      config.fleet.vms_per_user_sigma = 0.9;
+      break;
+    case 3:
+      // The most skewed DC.
+      config.fleet.app_vm_weights = {0.08, 0.30, 0.16, 0.05, 0.22, 0.19};
+      config.fleet.vms_per_user_sigma = 1.25;
+      break;
+    default:
+      break;
+  }
+  return config;
+}
+
+SimulationConfig StorageStudyPreset(uint64_t seed) {
+  SimulationConfig config;
+  config.fleet.seed = seed;
+  config.workload.seed = seed * 7 + 1;
+  config.fleet.user_count = 320;
+  config.fleet.storage_cluster_count = 8;
+  config.fleet.storage_nodes_per_cluster = 12;
+  config.workload.max_vd_mean_write_rate_mbps = 5.0;
+  return config;
+}
+
+EbsSimulation::EbsSimulation(SimulationConfig config)
+    : config_(config),
+      fleet_(BuildFleet(config.fleet)),
+      workload_(WorkloadGenerator(fleet_, config.workload).Generate()) {}
+
+const std::vector<RwSeries>& EbsSimulation::VdSeries() const {
+  if (!vd_) {
+    vd_ = RollupToVd(fleet_, metrics());
+  }
+  return *vd_;
+}
+
+const std::vector<RwSeries>& EbsSimulation::VmSeries() const {
+  if (!vm_) {
+    vm_ = RollupToVm(fleet_, metrics());
+  }
+  return *vm_;
+}
+
+const std::vector<RwSeries>& EbsSimulation::UserSeries() const {
+  if (!user_) {
+    user_ = RollupToUser(fleet_, metrics());
+  }
+  return *user_;
+}
+
+const std::vector<RwSeries>& EbsSimulation::WtSeries() const {
+  if (!wt_) {
+    wt_ = RollupToWt(fleet_, metrics());
+  }
+  return *wt_;
+}
+
+const std::vector<RwSeries>& EbsSimulation::CnSeries() const {
+  if (!cn_) {
+    cn_ = RollupToComputeNode(fleet_, metrics());
+  }
+  return *cn_;
+}
+
+const std::vector<RwSeries>& EbsSimulation::BsSeries() const {
+  if (!bs_) {
+    bs_ = RollupToBlockServer(fleet_, metrics());
+  }
+  return *bs_;
+}
+
+const std::vector<RwSeries>& EbsSimulation::SnSeries() const {
+  if (!sn_) {
+    sn_ = RollupToStorageNode(fleet_, metrics());
+  }
+  return *sn_;
+}
+
+const std::vector<RwSeries>& EbsSimulation::SegSeries() const {
+  if (!seg_) {
+    std::vector<RwSeries> flat;
+    flat.reserve(metrics().segment_series.size());
+    for (const auto& [key, series] : metrics().segment_series) {
+      flat.push_back(series);
+    }
+    seg_ = std::move(flat);
+  }
+  return *seg_;
+}
+
+}  // namespace ebs

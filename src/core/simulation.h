@@ -1,0 +1,73 @@
+// Public facade: build a fleet, synthesize its datasets, and expose cached
+// rollups. This is the entry point examples and benches use.
+//
+//   ebs::EbsSimulation sim(ebs::DcPreset(1));
+//   const auto& vm = sim.VmSeries();
+//   auto skew = ebs::ComputeLevelSkewness(vm);
+
+#ifndef SRC_CORE_SIMULATION_H_
+#define SRC_CORE_SIMULATION_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/topology/fleet.h"
+#include "src/trace/aggregate.h"
+#include "src/trace/records.h"
+#include "src/workload/generator.h"
+
+namespace ebs {
+
+struct SimulationConfig {
+  FleetConfig fleet;
+  WorkloadConfig workload;
+};
+
+// A preset mimicking one of the paper's three data centers: same model,
+// different seeds and slightly different tenant mixes.
+SimulationConfig DcPreset(int dc_index);
+
+// A preset with many storage clusters, used by the §6 storage-side studies
+// (Fig 4/5 need a population of clusters for their CDFs).
+SimulationConfig StorageStudyPreset(uint64_t seed = 5);
+
+class EbsSimulation {
+ public:
+  explicit EbsSimulation(SimulationConfig config = DcPreset(1));
+
+  const SimulationConfig& config() const { return config_; }
+  const Fleet& fleet() const { return fleet_; }
+  const WorkloadResult& workload() const { return workload_; }
+  const MetricDataset& metrics() const { return workload_.metrics; }
+  const TraceDataset& traces() const { return workload_.traces; }
+
+  // Cached rollups (computed on first use).
+  const std::vector<RwSeries>& VdSeries() const;
+  const std::vector<RwSeries>& VmSeries() const;
+  const std::vector<RwSeries>& UserSeries() const;
+  const std::vector<RwSeries>& WtSeries() const;
+  const std::vector<RwSeries>& CnSeries() const;
+  const std::vector<RwSeries>& BsSeries() const;
+  const std::vector<RwSeries>& SnSeries() const;
+  // Active-segment series as a flat vector (copies the map values once).
+  const std::vector<RwSeries>& SegSeries() const;
+
+ private:
+  SimulationConfig config_;
+  Fleet fleet_;
+  WorkloadResult workload_;
+
+  mutable std::optional<std::vector<RwSeries>> vd_;
+  mutable std::optional<std::vector<RwSeries>> vm_;
+  mutable std::optional<std::vector<RwSeries>> user_;
+  mutable std::optional<std::vector<RwSeries>> wt_;
+  mutable std::optional<std::vector<RwSeries>> cn_;
+  mutable std::optional<std::vector<RwSeries>> bs_;
+  mutable std::optional<std::vector<RwSeries>> sn_;
+  mutable std::optional<std::vector<RwSeries>> seg_;
+};
+
+}  // namespace ebs
+
+#endif  // SRC_CORE_SIMULATION_H_

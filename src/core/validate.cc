@@ -1,0 +1,84 @@
+#include "src/core/validate.h"
+
+#include <cmath>
+
+namespace ebs {
+
+namespace {
+
+bool IsFraction(double x) { return x >= 0.0 && x <= 1.0; }
+
+}  // namespace
+
+std::string ValidateFleetConfig(const FleetConfig& config) {
+  if (config.user_count == 0) {
+    return "fleet: user_count must be >= 1";
+  }
+  if (config.vms_per_user_max == 0 || config.vds_per_vm_max == 0) {
+    return "fleet: per-entity maxima must be >= 1";
+  }
+  if (config.vms_per_user_sigma < 0.0 || config.vds_per_vm_sigma < 0.0) {
+    return "fleet: lognormal sigmas must be non-negative";
+  }
+  if (config.max_vms_per_node < 1) {
+    return "fleet: max_vms_per_node must be >= 1";
+  }
+  if (!IsFraction(config.bare_metal_user_fraction)) {
+    return "fleet: bare_metal_user_fraction must be in [0, 1]";
+  }
+  if (config.wts_per_node < 1) {
+    return "fleet: wts_per_node must be >= 1";
+  }
+  if (config.storage_cluster_count == 0 || config.storage_nodes_per_cluster == 0) {
+    return "fleet: storage topology must have >= 1 cluster and >= 1 node per cluster";
+  }
+  if (config.app_vm_weights.size() != static_cast<size_t>(kAppTypeCount)) {
+    return "fleet: app_vm_weights must have one entry per AppType";
+  }
+  double weight_sum = 0.0;
+  for (const double w : config.app_vm_weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      return "fleet: app_vm_weights must be finite and non-negative";
+    }
+    weight_sum += w;
+  }
+  if (weight_sum <= 0.0) {
+    return "fleet: app_vm_weights must not all be zero";
+  }
+  return {};
+}
+
+std::string ValidateWorkloadConfig(const WorkloadConfig& config) {
+  if (config.window_steps == 0) {
+    return "workload: window_steps must be >= 1";
+  }
+  if (config.step_seconds <= 0.0) {
+    return "workload: step_seconds must be positive";
+  }
+  if (config.sampling_rate <= 0.0 || config.sampling_rate > 1.0) {
+    return "workload: sampling_rate must be in (0, 1]";
+  }
+  if (config.rate_scale <= 0.0) {
+    return "workload: rate_scale must be positive";
+  }
+  if (config.cap_scale <= 0.0) {
+    return "workload: cap_scale must be positive";
+  }
+  if (config.max_vd_mean_write_rate_mbps < 0.0) {
+    return "workload: max_vd_mean_write_rate_mbps must be non-negative";
+  }
+  if (config.hot_prob_scale < 0.0 || config.hot_prob_scale > 2.0) {
+    return "workload: hot_prob_scale must be in [0, 2]";
+  }
+  return {};
+}
+
+std::string ValidateSimulationConfig(const SimulationConfig& config) {
+  std::string error = ValidateFleetConfig(config.fleet);
+  if (!error.empty()) {
+    return error;
+  }
+  return ValidateWorkloadConfig(config.workload);
+}
+
+}  // namespace ebs

@@ -1,0 +1,21 @@
+// Configuration validation. Fallible user input is checked up front with
+// readable diagnostics instead of asserting deep inside the builders.
+
+#ifndef SRC_CORE_VALIDATE_H_
+#define SRC_CORE_VALIDATE_H_
+
+#include <string>
+
+#include "src/core/simulation.h"
+
+namespace ebs {
+
+// Each returns an empty string when the config is usable, otherwise a
+// human-readable description of the first problem found.
+std::string ValidateFleetConfig(const FleetConfig& config);
+std::string ValidateWorkloadConfig(const WorkloadConfig& config);
+std::string ValidateSimulationConfig(const SimulationConfig& config);
+
+}  // namespace ebs
+
+#endif  // SRC_CORE_VALIDATE_H_

@@ -1,0 +1,212 @@
+#include "src/ml/arima.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "src/ml/linalg.h"
+#include "src/util/stats.h"
+
+namespace ebs {
+
+namespace {
+
+std::vector<double> Difference(std::span<const double> series, int d) {
+  std::vector<double> w(series.begin(), series.end());
+  for (int round = 0; round < d; ++round) {
+    if (w.size() < 2) {
+      return {};
+    }
+    std::vector<double> next(w.size() - 1);
+    for (size_t i = 1; i < w.size(); ++i) {
+      next[i - 1] = w[i] - w[i - 1];
+    }
+    w = std::move(next);
+  }
+  return w;
+}
+
+}  // namespace
+
+ArimaFit FitArima(std::span<const double> series, int p, int d, int q) {
+  ArimaFit fit;
+  fit.p = p;
+  fit.d = d;
+  fit.q = q;
+
+  const std::vector<double> w = Difference(series, d);
+  const int n = static_cast<int>(w.size());
+  const int needed = std::max(p, q) + p + q + 8;
+  if (n < needed) {
+    return fit;
+  }
+
+  // Stage 1: long-AR proxy for the innovations.
+  const int m = std::min(std::max(p + q + 2, 5), n / 3);
+  std::vector<double> residuals(w.size(), 0.0);
+  {
+    const int rows = n - m;
+    Mat x(rows, static_cast<size_t>(m) + 1);
+    std::vector<double> y(rows);
+    for (int t = m; t < n; ++t) {
+      const int r = t - m;
+      x(r, 0) = 1.0;
+      for (int lag = 1; lag <= m; ++lag) {
+        x(r, static_cast<size_t>(lag)) = w[t - lag];
+      }
+      y[r] = w[t];
+    }
+    const std::vector<double> beta = SolveLeastSquares(x, y, 1e-6);
+    if (beta.empty()) {
+      return fit;
+    }
+    for (int t = m; t < n; ++t) {
+      double prediction = beta[0];
+      for (int lag = 1; lag <= m; ++lag) {
+        prediction += beta[static_cast<size_t>(lag)] * w[t - lag];
+      }
+      residuals[t] = w[t] - prediction;
+    }
+  }
+
+  // Stage 2: regress w_t on p AR lags and q lagged innovations.
+  const int t0 = std::max(p, m + q);
+  const int rows = n - t0;
+  if (rows < p + q + 3) {
+    return fit;
+  }
+  Mat x(rows, static_cast<size_t>(p + q) + 1);
+  std::vector<double> y(rows);
+  for (int t = t0; t < n; ++t) {
+    const int r = t - t0;
+    x(r, 0) = 1.0;
+    for (int lag = 1; lag <= p; ++lag) {
+      x(r, static_cast<size_t>(lag)) = w[t - lag];
+    }
+    for (int lag = 1; lag <= q; ++lag) {
+      x(r, static_cast<size_t>(p + lag)) = residuals[t - lag];
+    }
+    y[r] = w[t];
+  }
+  const std::vector<double> beta = SolveLeastSquares(x, y, 1e-6);
+  if (beta.empty()) {
+    return fit;
+  }
+
+  fit.intercept = beta[0];
+  fit.ar.assign(beta.begin() + 1, beta.begin() + 1 + p);
+  fit.ma.assign(beta.begin() + 1 + p, beta.end());
+
+  // Final residuals under the fitted model, for forecasting and AIC.
+  double ssr = 0.0;
+  std::vector<double> final_residuals(w.size(), 0.0);
+  for (int t = t0; t < n; ++t) {
+    double prediction = fit.intercept;
+    for (int lag = 1; lag <= p; ++lag) {
+      prediction += fit.ar[static_cast<size_t>(lag - 1)] * w[t - lag];
+    }
+    for (int lag = 1; lag <= q; ++lag) {
+      prediction += fit.ma[static_cast<size_t>(lag - 1)] * final_residuals[t - lag];
+    }
+    final_residuals[t] = w[t] - prediction;
+    ssr += final_residuals[t] * final_residuals[t];
+  }
+  fit.residuals = std::move(final_residuals);
+  fit.sigma2 = ssr / static_cast<double>(rows);
+  fit.aic = static_cast<double>(rows) * std::log(std::max(fit.sigma2, 1e-12)) +
+            2.0 * static_cast<double>(p + q + 1);
+  fit.valid = true;
+  return fit;
+}
+
+ArimaFit AutoFitArima(std::span<const double> series, const ArimaOptions& options) {
+  ArimaFit best;
+  best.aic = std::numeric_limits<double>::infinity();
+  for (int d = 0; d <= options.max_d; ++d) {
+    for (int p = 0; p <= options.max_p; ++p) {
+      for (int q = 0; q <= options.max_q; ++q) {
+        if (p == 0 && q == 0) {
+          continue;
+        }
+        const ArimaFit candidate = FitArima(series, p, d, q);
+        if (candidate.valid && candidate.aic < best.aic) {
+          best = candidate;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+double ForecastOne(const ArimaFit& fit, std::span<const double> series) {
+  if (!fit.valid || series.empty()) {
+    return series.empty() ? 0.0 : series.back();
+  }
+  const std::vector<double> w = Difference(series, fit.d);
+  const int n = static_cast<int>(w.size());
+  double prediction = fit.intercept;
+  for (int lag = 1; lag <= fit.p; ++lag) {
+    if (n - lag >= 0) {
+      prediction += fit.ar[static_cast<size_t>(lag - 1)] * w[n - lag];
+    }
+  }
+  for (int lag = 1; lag <= fit.q; ++lag) {
+    const int idx = static_cast<int>(fit.residuals.size()) - lag;
+    if (idx >= 0) {
+      prediction += fit.ma[static_cast<size_t>(lag - 1)] * fit.residuals[idx];
+    }
+  }
+  // Integrate the differencing back.
+  double forecast = prediction;
+  if (fit.d == 1) {
+    forecast = series.back() + prediction;
+  }
+  return forecast;
+}
+
+namespace {
+
+class ArimaPredictor final : public SeriesPredictor {
+ public:
+  explicit ArimaPredictor(ArimaOptions options) : options_(options) {}
+
+  void Observe(double value) override {
+    history_.push_back(value);
+    if (history_.size() > static_cast<size_t>(options_.train_window)) {
+      history_.pop_front();
+    }
+    ++since_refit_;
+  }
+
+  double PredictNext() override {
+    if (history_.empty()) {
+      return 0.0;
+    }
+    const std::vector<double> series(history_.begin(), history_.end());
+    if (!fit_.valid || since_refit_ >= options_.refit_every) {
+      fit_ = AutoFitArima(series, options_);
+      since_refit_ = 0;
+    }
+    if (!fit_.valid) {
+      return series.back();
+    }
+    return std::max(0.0, ForecastOne(fit_, series));
+  }
+
+  std::string name() const override { return "arima"; }
+
+ private:
+  ArimaOptions options_;
+  std::deque<double> history_;
+  ArimaFit fit_;
+  int since_refit_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<SeriesPredictor> MakeArimaPredictor(ArimaOptions options) {
+  return std::make_unique<ArimaPredictor>(options);
+}
+
+}  // namespace ebs

@@ -1,0 +1,53 @@
+// ARIMA(p,d,q) forecasting, fit with the Hannan-Rissanen two-stage least
+// squares procedure and automatic order search by AIC (the paper used
+// pmdarima's auto-ARIMA; this is the same model family with a lighter
+// estimator that is deterministic and dependency-free).
+
+#ifndef SRC_ML_ARIMA_H_
+#define SRC_ML_ARIMA_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/ml/predictor.h"
+
+namespace ebs {
+
+struct ArimaOptions {
+  int max_p = 3;
+  int max_d = 1;
+  int max_q = 2;
+  int train_window = 120;  // periods of history retained for fitting
+  int refit_every = 1;     // refit cadence in periods
+};
+
+struct ArimaFit {
+  bool valid = false;
+  int p = 0;
+  int d = 0;
+  int q = 0;
+  double intercept = 0.0;
+  std::vector<double> ar;         // phi_1..phi_p
+  std::vector<double> ma;         // theta_1..theta_q
+  std::vector<double> residuals;  // aligned with the differenced train series
+  double sigma2 = 0.0;
+  double aic = 0.0;
+};
+
+// Fits a single (p,d,q) on `series`; invalid when the series is too short or
+// the regression is singular.
+ArimaFit FitArima(std::span<const double> series, int p, int d, int q);
+
+// Grid-searches (p,d,q) up to the option bounds and returns the best fit by
+// AIC; the result may be invalid if nothing fits.
+ArimaFit AutoFitArima(std::span<const double> series, const ArimaOptions& options);
+
+// One-step-ahead forecast of the *original* (undifferenced) series.
+double ForecastOne(const ArimaFit& fit, std::span<const double> series);
+
+std::unique_ptr<SeriesPredictor> MakeArimaPredictor(ArimaOptions options = {});
+
+}  // namespace ebs
+
+#endif  // SRC_ML_ARIMA_H_

@@ -1,0 +1,284 @@
+#include "src/ml/attention.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/ml/tensor.h"
+
+namespace ebs {
+
+namespace {
+
+void FillRandom(Mat& mat, double scale, Rng& rng) {
+  for (size_t i = 0; i < mat.rows(); ++i) {
+    for (size_t j = 0; j < mat.cols(); ++j) {
+      mat(i, j) = scale * rng.NextGaussian();
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Mat*> AttentionForecaster::Params::All() {
+  return {&w_embed, &pos, &wq, &wk, &wv, &w1, &b1, &w2, &b2, &w_out, &b_out};
+}
+
+AttentionForecaster::AttentionForecaster(size_t entity_count, AttentionOptions options)
+    : options_(options), entity_count_(entity_count), rng_(options.seed) {
+  InitParams();
+}
+
+void AttentionForecaster::InitParams() {
+  const int l = options_.context;
+  const int d = options_.d_model;
+  const int h = options_.hidden;
+  params_.w_embed = Mat(1, d);
+  params_.pos = Mat(l, d);
+  params_.wq = Mat(d, d);
+  params_.wk = Mat(d, d);
+  params_.wv = Mat(d, d);
+  params_.w1 = Mat(d, h);
+  params_.b1 = Mat(1, h);
+  params_.w2 = Mat(h, d);
+  params_.b2 = Mat(1, d);
+  params_.w_out = Mat(d, 1);
+  params_.b_out = Mat(1, 1);
+
+  const double d_scale = 1.0 / std::sqrt(static_cast<double>(d));
+  FillRandom(params_.w_embed, 0.5, rng_);
+  FillRandom(params_.pos, 0.1, rng_);
+  FillRandom(params_.wq, d_scale, rng_);
+  FillRandom(params_.wk, d_scale, rng_);
+  FillRandom(params_.wv, d_scale, rng_);
+  FillRandom(params_.w1, d_scale, rng_);
+  FillRandom(params_.w2, 1.0 / std::sqrt(static_cast<double>(h)), rng_);
+  FillRandom(params_.w_out, d_scale, rng_);
+
+  adam_ = AdamState{};
+  const auto all = params_.All();
+  adam_.m.resize(all.size());
+  adam_.v.resize(all.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    adam_.m[i] = Mat(all[i]->rows(), all[i]->cols());
+    adam_.v[i] = Mat(all[i]->rows(), all[i]->cols());
+  }
+  fitted_ = false;
+}
+
+void AttentionForecaster::Observe(const std::vector<double>& period_values) {
+  history_.push_back(period_values);
+  history_.back().resize(entity_count_, 0.0);
+}
+
+void AttentionForecaster::RefreshNormalization() {
+  // Standardize log1p(traffic) across all history.
+  double sum = 0.0;
+  double sq = 0.0;
+  size_t count = 0;
+  for (const auto& period : history_) {
+    for (const double v : period) {
+      const double x = std::log1p(std::max(0.0, v));
+      sum += x;
+      sq += x * x;
+      ++count;
+    }
+  }
+  if (count == 0) {
+    return;
+  }
+  norm_mu_ = sum / static_cast<double>(count);
+  const double var = sq / static_cast<double>(count) - norm_mu_ * norm_mu_;
+  norm_sigma_ = std::sqrt(std::max(var, 1e-6));
+}
+
+double AttentionForecaster::Normalize(double value) const {
+  return (std::log1p(std::max(0.0, value)) - norm_mu_) / norm_sigma_;
+}
+
+double AttentionForecaster::Denormalize(double value) const {
+  return std::expm1(value * norm_sigma_ + norm_mu_);
+}
+
+bool AttentionForecaster::MakeSample(size_t entity, size_t end_period, Sample& out) const {
+  const size_t l = static_cast<size_t>(options_.context);
+  if (end_period < l || end_period >= history_.size()) {
+    return false;
+  }
+  out.window.resize(l);
+  for (size_t i = 0; i < l; ++i) {
+    out.window[i] = Normalize(history_[end_period - l + i][entity]);
+  }
+  out.target = Normalize(history_[end_period][entity]);
+  return true;
+}
+
+double AttentionForecaster::Step(const Sample& sample, bool train) {
+  const int l = options_.context;
+  const int d = options_.d_model;
+
+  Tape tape;
+  // Leaves for parameters.
+  const auto params = params_.All();
+  std::vector<Tape::Ref> param_refs;
+  param_refs.reserve(params.size());
+  for (Mat* p : params) {
+    param_refs.push_back(tape.Leaf(*p, /*requires_grad=*/train));
+  }
+  const Tape::Ref w_embed = param_refs[0];
+  const Tape::Ref pos = param_refs[1];
+  const Tape::Ref wq = param_refs[2];
+  const Tape::Ref wk = param_refs[3];
+  const Tape::Ref wv = param_refs[4];
+  const Tape::Ref w1 = param_refs[5];
+  const Tape::Ref b1 = param_refs[6];
+  const Tape::Ref w2 = param_refs[7];
+  const Tape::Ref b2 = param_refs[8];
+  const Tape::Ref w_out = param_refs[9];
+  const Tape::Ref b_out = param_refs[10];
+
+  // Input column vector (L x 1).
+  Mat x_mat(static_cast<size_t>(l), 1);
+  for (int i = 0; i < l; ++i) {
+    x_mat(static_cast<size_t>(i), 0) = sample.window[static_cast<size_t>(i)];
+  }
+  const Tape::Ref x = tape.Leaf(std::move(x_mat), /*requires_grad=*/false);
+
+  // Embedding: X (L x d) = x * w_embed + pos.
+  const Tape::Ref embedded = tape.Add(tape.MatMul(x, w_embed), pos);
+
+  // Single-head self attention.
+  const Tape::Ref q = tape.MatMul(embedded, wq);
+  const Tape::Ref k = tape.MatMul(embedded, wk);
+  const Tape::Ref v = tape.MatMul(embedded, wv);
+  const Tape::Ref scores =
+      tape.Scale(tape.MatMul(q, tape.Transpose(k)), 1.0 / std::sqrt(static_cast<double>(d)));
+  const Tape::Ref attn = tape.SoftmaxRows(scores);
+  const Tape::Ref context = tape.MatMul(attn, v);
+
+  // Feed-forward with residual.
+  const Tape::Ref ffn =
+      tape.AddRowBroadcast(tape.MatMul(tape.Relu(tape.AddRowBroadcast(tape.MatMul(context, w1), b1)),
+                                       w2),
+                           b2);
+  const Tape::Ref residual = tape.Add(context, ffn);
+
+  // Pool and project.
+  const Tape::Ref pooled = tape.MeanRows(residual);
+  const Tape::Ref output = tape.Add(tape.MatMul(pooled, w_out), b_out);
+  const Tape::Ref loss = tape.SquaredError(output, sample.target);
+
+  if (!train) {
+    return tape.value(output)(0, 0);
+  }
+
+  tape.Backward(loss);
+
+  // Adam update.
+  ++adam_.step;
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+  const double bias1 = 1.0 - std::pow(kBeta1, static_cast<double>(adam_.step));
+  const double bias2 = 1.0 - std::pow(kBeta2, static_cast<double>(adam_.step));
+  for (size_t p = 0; p < params.size(); ++p) {
+    const Mat& g = tape.grad(param_refs[p]);
+    Mat& m = adam_.m[p];
+    Mat& v2 = adam_.v[p];
+    Mat& w = *params[p];
+    for (size_t i = 0; i < w.rows(); ++i) {
+      for (size_t j = 0; j < w.cols(); ++j) {
+        m(i, j) = kBeta1 * m(i, j) + (1.0 - kBeta1) * g(i, j);
+        v2(i, j) = kBeta2 * v2(i, j) + (1.0 - kBeta2) * g(i, j) * g(i, j);
+        const double m_hat = m(i, j) / bias1;
+        const double v_hat = v2(i, j) / bias2;
+        w(i, j) -= options_.learning_rate * m_hat / (std::sqrt(v_hat) + kEps);
+      }
+    }
+  }
+  return tape.value(loss)(0, 0);
+}
+
+double AttentionForecaster::Forward(const std::vector<double>& window) const {
+  Sample sample;
+  sample.window = window;
+  sample.target = 0.0;
+  // const_cast-free: Step(train=false) does not mutate, but it is non-const
+  // because of the shared signature; replicate the forward inline instead.
+  return const_cast<AttentionForecaster*>(this)->Step(sample, /*train=*/false);
+}
+
+void AttentionForecaster::FitFull() {
+  InitParams();
+  RefreshNormalization();
+  const size_t l = static_cast<size_t>(options_.context);
+  if (history_.size() < l + 1) {
+    return;
+  }
+
+  // Collect candidate (entity, end_period) pairs; subsample to the cap.
+  std::vector<std::pair<uint32_t, uint32_t>> keys;
+  for (size_t e = 0; e < entity_count_; ++e) {
+    for (size_t t = l; t < history_.size(); ++t) {
+      keys.emplace_back(static_cast<uint32_t>(e), static_cast<uint32_t>(t));
+    }
+  }
+  if (keys.size() > static_cast<size_t>(options_.max_train_windows)) {
+    for (size_t i = 0; i < static_cast<size_t>(options_.max_train_windows); ++i) {
+      const size_t j = i + rng_.NextBounded(keys.size() - i);
+      std::swap(keys[i], keys[j]);
+    }
+    keys.resize(static_cast<size_t>(options_.max_train_windows));
+  }
+
+  Sample sample;
+  for (int epoch = 0; epoch < options_.initial_epochs; ++epoch) {
+    // Shuffle each epoch.
+    for (size_t i = keys.size(); i > 1; --i) {
+      const size_t j = rng_.NextBounded(i);
+      std::swap(keys[i - 1], keys[j]);
+    }
+    for (const auto& [entity, period] : keys) {
+      if (MakeSample(entity, period, sample)) {
+        Step(sample, /*train=*/true);
+      }
+    }
+  }
+  fitted_ = true;
+}
+
+void AttentionForecaster::FineTune() {
+  const size_t l = static_cast<size_t>(options_.context);
+  if (history_.size() < l + 1) {
+    return;
+  }
+  if (!fitted_) {
+    FitFull();
+    return;
+  }
+  RefreshNormalization();
+  Sample sample;
+  for (int step = 0; step < options_.finetune_steps; ++step) {
+    const size_t entity = rng_.NextBounded(entity_count_);
+    // Bias sampling toward the freshest periods.
+    const size_t span = std::min<size_t>(history_.size() - l, 8);
+    const size_t period = history_.size() - 1 - rng_.NextBounded(span);
+    if (MakeSample(entity, period, sample)) {
+      Step(sample, /*train=*/true);
+    }
+  }
+}
+
+double AttentionForecaster::PredictNext(size_t entity) const {
+  const size_t l = static_cast<size_t>(options_.context);
+  if (!fitted_ || history_.size() < l) {
+    return history_.empty() ? 0.0 : history_.back()[entity];
+  }
+  std::vector<double> window(l);
+  for (size_t i = 0; i < l; ++i) {
+    window[i] = Normalize(history_[history_.size() - l + i][entity]);
+  }
+  const double normalized = Forward(window);
+  return std::max(0.0, Denormalize(normalized));
+}
+
+}  // namespace ebs

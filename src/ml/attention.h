@@ -1,0 +1,101 @@
+// Attention-based traffic forecaster — the paper's "Transformer" predictor
+// (Appendix C), scaled to the toolkit: a single-head self-attention block
+// with a feed-forward layer and residual connection over a context window of
+// past periods, trained with Adam on pooled windows from every BlockServer
+// (one model for all entities, matching the paper's multi-input setup).
+//
+// Two update regimes mirror Fig 4(c):
+//   P4 — per-epoch: FitFull() retrains from scratch every `epoch` periods;
+//   P5 — per-period: FineTune() takes a few gradient steps on fresh windows
+//        every period, tracking short-term fluctuation.
+
+#ifndef SRC_ML_ATTENTION_H_
+#define SRC_ML_ATTENTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ml/linalg.h"
+#include "src/util/rng.h"
+
+namespace ebs {
+
+struct AttentionOptions {
+  int context = 12;    // input window length L
+  int d_model = 8;     // embedding width
+  int hidden = 16;     // FFN width
+  int initial_epochs = 4;
+  int finetune_steps = 64;
+  int max_train_windows = 4096;  // cap on sampled windows per FitFull
+  double learning_rate = 3e-3;
+  uint64_t seed = 1;
+};
+
+class AttentionForecaster {
+ public:
+  AttentionForecaster(size_t entity_count, AttentionOptions options = {});
+
+  // Appends one period of observations (one value per entity).
+  void Observe(const std::vector<double>& period_values);
+
+  // Full retrain on all history (per-epoch regime).
+  void FitFull();
+
+  // A few gradient steps on the freshest windows (per-period regime).
+  void FineTune();
+
+  // One-step forecast for an entity; persistence until enough history/model.
+  double PredictNext(size_t entity) const;
+
+  bool fitted() const { return fitted_; }
+  size_t history_periods() const { return history_.size(); }
+
+ private:
+  struct Params {
+    Mat w_embed;  // 1 x d
+    Mat pos;      // L x d
+    Mat wq, wk, wv;  // d x d
+    Mat w1;       // d x h
+    Mat b1;       // 1 x h
+    Mat w2;       // h x d
+    Mat b2;       // 1 x d
+    Mat w_out;    // d x 1
+    Mat b_out;    // 1 x 1
+    std::vector<Mat*> All();
+  };
+
+  struct AdamState {
+    std::vector<Mat> m;
+    std::vector<Mat> v;
+    int64_t step = 0;
+  };
+
+  struct Sample {
+    std::vector<double> window;  // normalized, length L
+    double target = 0.0;         // normalized next value
+  };
+
+  void InitParams();
+  void RefreshNormalization();
+  double Normalize(double value) const;
+  double Denormalize(double value) const;
+  bool MakeSample(size_t entity, size_t end_period, Sample& out) const;
+  // One forward(+backward) pass; returns the loss. Updates params when
+  // `train` is true.
+  double Step(const Sample& sample, bool train);
+  double Forward(const std::vector<double>& window) const;
+
+  AttentionOptions options_;
+  size_t entity_count_;
+  std::vector<std::vector<double>> history_;  // [period][entity]
+  Params params_;
+  AdamState adam_;
+  Rng rng_;
+  bool fitted_ = false;
+  double norm_mu_ = 0.0;
+  double norm_sigma_ = 1.0;
+};
+
+}  // namespace ebs
+
+#endif  // SRC_ML_ATTENTION_H_

@@ -1,0 +1,249 @@
+#include "src/ml/gbt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <numeric>
+
+namespace ebs {
+
+namespace {
+
+double MeanOf(std::span<const double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+}  // namespace
+
+double GbtModel::Tree::Predict(std::span<const double> features) const {
+  if (nodes.empty()) {
+    return 0.0;
+  }
+  int idx = 0;
+  while (nodes[static_cast<size_t>(idx)].feature >= 0) {
+    const Node& node = nodes[static_cast<size_t>(idx)];
+    idx = features[static_cast<size_t>(node.feature)] <= node.threshold ? node.left
+                                                                        : node.right;
+  }
+  return nodes[static_cast<size_t>(idx)].value;
+}
+
+GbtModel::Tree GbtModel::FitTree(const std::vector<std::vector<double>>& x,
+                                 const std::vector<double>& grad,
+                                 const GbtOptions& options) const {
+  Tree tree;
+  struct WorkItem {
+    std::vector<uint32_t> rows;
+    int depth;
+    int node_index;
+  };
+
+  tree.nodes.push_back({});
+  std::vector<WorkItem> stack;
+  {
+    std::vector<uint32_t> all(x.size());
+    std::iota(all.begin(), all.end(), 0);
+    stack.push_back({std::move(all), 0, 0});
+  }
+
+  const size_t feature_count = x.empty() ? 0 : x.front().size();
+
+  while (!stack.empty()) {
+    WorkItem item = std::move(stack.back());
+    stack.pop_back();
+    Node& node = tree.nodes[static_cast<size_t>(item.node_index)];
+
+    double sum = 0.0;
+    for (const uint32_t r : item.rows) {
+      sum += grad[r];
+    }
+    const double mean = sum / static_cast<double>(item.rows.size());
+
+    if (item.depth >= options.max_depth ||
+        item.rows.size() < static_cast<size_t>(2 * options.min_samples_leaf)) {
+      node.feature = -1;
+      node.value = mean;
+      continue;
+    }
+
+    // Exact greedy split search: minimize total squared error.
+    double best_gain = 1e-12;
+    int best_feature = -1;
+    double best_threshold = 0.0;
+    const double total_sq = [&] {
+      double s = 0.0;
+      for (const uint32_t r : item.rows) {
+        const double d = grad[r] - mean;
+        s += d * d;
+      }
+      return s;
+    }();
+
+    std::vector<uint32_t> order(item.rows);
+    for (size_t f = 0; f < feature_count; ++f) {
+      std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        return x[a][f] < x[b][f];
+      });
+      double left_sum = 0.0;
+      const double right_total = sum;
+      double right_sq_total = 0.0;
+      for (const uint32_t r : order) {
+        const double g = grad[r];
+        right_sq_total += g * g;
+      }
+      double left_sq_total = 0.0;
+      for (size_t i = 0; i + 1 < order.size(); ++i) {
+        const double g = grad[order[i]];
+        left_sum += g;
+        left_sq_total += g * g;
+        const size_t left_n = i + 1;
+        const size_t right_n = order.size() - left_n;
+        if (left_n < static_cast<size_t>(options.min_samples_leaf) ||
+            right_n < static_cast<size_t>(options.min_samples_leaf)) {
+          continue;
+        }
+        if (x[order[i]][f] == x[order[i + 1]][f]) {
+          continue;  // cannot split between equal values
+        }
+        const double right_sum = right_total - left_sum;
+        const double right_sq = right_sq_total - left_sq_total;
+        const double sse_left =
+            left_sq_total - left_sum * left_sum / static_cast<double>(left_n);
+        const double sse_right =
+            right_sq - right_sum * right_sum / static_cast<double>(right_n);
+        const double gain = total_sq - sse_left - sse_right;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int>(f);
+          best_threshold = 0.5 * (x[order[i]][f] + x[order[i + 1]][f]);
+        }
+      }
+    }
+
+    if (best_feature < 0) {
+      node.feature = -1;
+      node.value = mean;
+      continue;
+    }
+
+    std::vector<uint32_t> left_rows;
+    std::vector<uint32_t> right_rows;
+    for (const uint32_t r : item.rows) {
+      (x[r][static_cast<size_t>(best_feature)] <= best_threshold ? left_rows : right_rows)
+          .push_back(r);
+    }
+
+    node.feature = best_feature;
+    node.threshold = best_threshold;
+    node.left = static_cast<int>(tree.nodes.size());
+    node.right = node.left + 1;
+    const int left_index = node.left;
+    const int right_index = node.right;
+    const int depth = item.depth;
+    tree.nodes.push_back({});
+    tree.nodes.push_back({});
+    stack.push_back({std::move(left_rows), depth + 1, left_index});
+    stack.push_back({std::move(right_rows), depth + 1, right_index});
+  }
+  return tree;
+}
+
+void GbtModel::Fit(const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+                   const GbtOptions& options) {
+  trees_.clear();
+  fitted_ = false;
+  if (x.empty() || x.size() != y.size()) {
+    return;
+  }
+  learning_rate_ = options.learning_rate;
+  base_ = MeanOf(y);
+
+  std::vector<double> predictions(y.size(), base_);
+  std::vector<double> residuals(y.size());
+  for (int round = 0; round < options.trees; ++round) {
+    for (size_t i = 0; i < y.size(); ++i) {
+      residuals[i] = y[i] - predictions[i];
+    }
+    Tree tree = FitTree(x, residuals, options);
+    for (size_t i = 0; i < y.size(); ++i) {
+      predictions[i] += learning_rate_ * tree.Predict(x[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+}
+
+double GbtModel::Predict(std::span<const double> features) const {
+  double out = base_;
+  for (const Tree& tree : trees_) {
+    out += learning_rate_ * tree.Predict(features);
+  }
+  return out;
+}
+
+namespace {
+
+class GbtPredictor final : public SeriesPredictor {
+ public:
+  explicit GbtPredictor(GbtOptions options) : options_(options) {}
+
+  void Observe(double value) override {
+    history_.push_back(value);
+    if (history_.size() > static_cast<size_t>(options_.train_window)) {
+      history_.pop_front();
+    }
+    ++since_refit_;
+  }
+
+  double PredictNext() override {
+    const size_t lags = static_cast<size_t>(options_.lags);
+    if (history_.size() < lags + 2) {
+      return history_.empty() ? 0.0 : history_.back();
+    }
+    if (!model_.fitted() || since_refit_ >= options_.refit_every) {
+      Refit();
+      since_refit_ = 0;
+    }
+    std::vector<double> features(lags);
+    for (size_t i = 0; i < lags; ++i) {
+      features[i] = history_[history_.size() - lags + i];
+    }
+    return std::max(0.0, model_.Predict(features));
+  }
+
+  std::string name() const override { return "gbt"; }
+
+ private:
+  void Refit() {
+    const size_t lags = static_cast<size_t>(options_.lags);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (size_t t = lags; t < history_.size(); ++t) {
+      std::vector<double> row(lags);
+      for (size_t i = 0; i < lags; ++i) {
+        row[i] = history_[t - lags + i];
+      }
+      x.push_back(std::move(row));
+      y.push_back(history_[t]);
+    }
+    model_.Fit(x, y, options_);
+  }
+
+  GbtOptions options_;
+  std::deque<double> history_;
+  GbtModel model_;
+  int since_refit_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<SeriesPredictor> MakeGbtPredictor(GbtOptions options) {
+  return std::make_unique<GbtPredictor>(options);
+}
+
+}  // namespace ebs

@@ -1,0 +1,67 @@
+// Gradient-boosted regression trees (the paper's "XGBoost" stand-in,
+// sklearn's GradientBoostingRegressor equivalent): CART base learners on
+// squared loss with shrinkage, trained on lagged-window features and
+// retrained on an epoch schedule (Appendix C: 120 s of history predicting the
+// next 30 s period, retrained every 200 periods).
+
+#ifndef SRC_ML_GBT_H_
+#define SRC_ML_GBT_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/ml/predictor.h"
+
+namespace ebs {
+
+struct GbtOptions {
+  int lags = 4;            // feature window (paper: 120 s / 30 s periods)
+  int trees = 80;
+  int max_depth = 3;
+  int min_samples_leaf = 4;
+  double learning_rate = 0.1;
+  int refit_every = 200;   // epoch length in periods
+  int train_window = 400;  // history retained for training
+};
+
+// A fitted regression-tree ensemble over fixed-width feature rows.
+class GbtModel {
+ public:
+  GbtModel() = default;
+
+  // Fits on rows x (n x k) against y (n); replaces any previous model.
+  void Fit(const std::vector<std::vector<double>>& x, const std::vector<double>& y,
+           const GbtOptions& options);
+
+  bool fitted() const { return fitted_; }
+  double Predict(std::span<const double> features) const;
+  size_t tree_count() const { return trees_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;  // -1 marks a leaf
+    double threshold = 0.0;
+    double value = 0.0;  // leaf output
+    int left = -1;
+    int right = -1;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+    double Predict(std::span<const double> features) const;
+  };
+
+  Tree FitTree(const std::vector<std::vector<double>>& x, const std::vector<double>& grad,
+               const GbtOptions& options) const;
+
+  bool fitted_ = false;
+  double base_ = 0.0;
+  double learning_rate_ = 0.1;
+  std::vector<Tree> trees_;
+};
+
+std::unique_ptr<SeriesPredictor> MakeGbtPredictor(GbtOptions options = {});
+
+}  // namespace ebs
+
+#endif  // SRC_ML_GBT_H_

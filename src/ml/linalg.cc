@@ -1,0 +1,113 @@
+#include "src/ml/linalg.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ebs {
+
+Mat::Mat(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Mat::Fill(double value) {
+  for (double& v : data_) {
+    v = value;
+  }
+}
+
+Mat MatMul(const Mat& a, const Mat& b) {
+  assert(a.cols() == b.rows());
+  Mat out(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) {
+        continue;
+      }
+      for (size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Mat Transpose(const Mat& a) {
+  Mat out(a.cols(), a.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      out(j, i) = a(i, j);
+    }
+  }
+  return out;
+}
+
+std::vector<double> SolveLinearSystem(Mat a, std::vector<double> b) {
+  const size_t n = a.rows();
+  assert(a.cols() == n && b.size() == n);
+  // Gaussian elimination with partial pivoting.
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) {
+        pivot = r;
+      }
+    }
+    if (std::abs(a(pivot, col)) < 1e-12) {
+      return {};
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) {
+        std::swap(a(pivot, c), a(col, c));
+      }
+      std::swap(b[pivot], b[col]);
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) / a(col, col);
+      if (factor == 0.0) {
+        continue;
+      }
+      for (size_t c = col; c < n; ++c) {
+        a(r, c) -= factor * a(col, c);
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (size_t j = i + 1; j < n; ++j) {
+      sum -= a(i, j) * x[j];
+    }
+    x[i] = sum / a(i, i);
+  }
+  return x;
+}
+
+std::vector<double> SolveLeastSquares(const Mat& x, const std::vector<double>& y,
+                                      double ridge) {
+  assert(x.rows() == y.size());
+  const size_t p = x.cols();
+  Mat xtx(p, p);
+  std::vector<double> xty(p, 0.0);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t i = 0; i < p; ++i) {
+      const double xi = x(r, i);
+      if (xi == 0.0) {
+        continue;
+      }
+      xty[i] += xi * y[r];
+      for (size_t j = i; j < p; ++j) {
+        xtx(i, j) += xi * x(r, j);
+      }
+    }
+  }
+  for (size_t i = 0; i < p; ++i) {
+    xtx(i, i) += ridge;
+    for (size_t j = 0; j < i; ++j) {
+      xtx(i, j) = xtx(j, i);
+    }
+  }
+  return SolveLinearSystem(std::move(xtx), std::move(xty));
+}
+
+}  // namespace ebs

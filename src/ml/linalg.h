@@ -1,0 +1,51 @@
+// Dense matrix container and small least-squares solver used by the
+// predictors. Deliberately minimal: the balancer's models have at most a few
+// dozen coefficients.
+
+#ifndef SRC_ML_LINALG_H_
+#define SRC_ML_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ebs {
+
+// Row-major dense matrix of doubles.
+class Mat {
+ public:
+  Mat() = default;
+  Mat(size_t rows, size_t cols, double fill = 0.0);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  void Fill(double value);
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Mat MatMul(const Mat& a, const Mat& b);
+Mat Transpose(const Mat& a);
+
+// Solves min ||X beta - y||^2 via ridge-regularized normal equations
+// (X'X + lambda I) beta = X'y with Gaussian elimination (partial pivoting).
+// Returns the coefficient vector; empty on a singular system.
+std::vector<double> SolveLeastSquares(const Mat& x, const std::vector<double>& y,
+                                      double ridge = 1e-8);
+
+// Solves the square system a * x = b in-place copies; empty on singularity.
+std::vector<double> SolveLinearSystem(Mat a, std::vector<double> b);
+
+}  // namespace ebs
+
+#endif  // SRC_ML_LINALG_H_

@@ -1,0 +1,65 @@
+#include "src/ml/predictor.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace ebs {
+
+namespace {
+
+class LastValuePredictor final : public SeriesPredictor {
+ public:
+  void Observe(double value) override { last_ = value; }
+  double PredictNext() override { return last_; }
+  std::string name() const override { return "last-value"; }
+
+ private:
+  double last_ = 0.0;
+};
+
+class LinearFitPredictor final : public SeriesPredictor {
+ public:
+  explicit LinearFitPredictor(int window) : window_(std::max(2, window)) {}
+
+  void Observe(double value) override {
+    history_.push_back(value);
+    if (history_.size() > static_cast<size_t>(window_)) {
+      history_.pop_front();
+    }
+  }
+
+  double PredictNext() override {
+    if (history_.empty()) {
+      return 0.0;
+    }
+    if (history_.size() == 1) {
+      return history_.back();
+    }
+    const std::vector<double> values(history_.begin(), history_.end());
+    const LinearFitResult fit = FitLine(values);
+    const double prediction =
+        fit.intercept + fit.slope * static_cast<double>(values.size());
+    return std::max(0.0, prediction);
+  }
+
+  std::string name() const override { return "linear-fit"; }
+
+ private:
+  int window_;
+  std::deque<double> history_;
+};
+
+}  // namespace
+
+std::unique_ptr<SeriesPredictor> MakeLastValuePredictor() {
+  return std::make_unique<LastValuePredictor>();
+}
+
+std::unique_ptr<SeriesPredictor> MakeLinearFitPredictor(int window) {
+  return std::make_unique<LinearFitPredictor>(window);
+}
+
+}  // namespace ebs

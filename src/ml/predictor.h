@@ -1,0 +1,40 @@
+// Traffic predictor interface (Appendix C).
+//
+// The prediction-driven balancer (§6.1.3) forecasts each BlockServer's next-
+// period traffic. A predictor consumes one observation per period and returns
+// a one-step-ahead forecast. Statistical models (linear fit, ARIMA) refit on
+// every period; learned models (GBT, attention) refit on an epoch schedule to
+// model the paper's training-cost trade-off.
+
+#ifndef SRC_ML_PREDICTOR_H_
+#define SRC_ML_PREDICTOR_H_
+
+#include <memory>
+#include <string>
+
+namespace ebs {
+
+class SeriesPredictor {
+ public:
+  virtual ~SeriesPredictor() = default;
+
+  // Appends the latest period's observed value.
+  virtual void Observe(double value) = 0;
+
+  // One-step-ahead forecast given everything observed so far. With too little
+  // history, implementations fall back to persistence (last value).
+  virtual double PredictNext() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Persistence baseline: predicts the last observed value.
+std::unique_ptr<SeriesPredictor> MakeLastValuePredictor();
+
+// OLS line over the last `window` observations, extrapolated one step
+// (the paper's "Linear Fit", window = 4 periods).
+std::unique_ptr<SeriesPredictor> MakeLinearFitPredictor(int window = 4);
+
+}  // namespace ebs
+
+#endif  // SRC_ML_PREDICTOR_H_

@@ -1,0 +1,304 @@
+#include "src/ml/tensor.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ebs {
+
+Tape::Ref Tape::Push(Node node) {
+  node.grad = Mat(node.value.rows(), node.value.cols());
+  nodes_.push_back(std::move(node));
+  return static_cast<Ref>(nodes_.size()) - 1;
+}
+
+Tape::Ref Tape::Leaf(Mat value, bool requires_grad) {
+  Node node;
+  node.op = Op::kLeaf;
+  node.value = std::move(value);
+  node.needs_grad = requires_grad;
+  return Push(std::move(node));
+}
+
+Tape::Ref Tape::MatMul(Ref a, Ref b) {
+  Node node;
+  node.op = Op::kMatMul;
+  node.a = a;
+  node.b = b;
+  node.value = ebs::MatMul(value(a), value(b));
+  node.needs_grad = nodes_[static_cast<size_t>(a)].needs_grad ||
+                    nodes_[static_cast<size_t>(b)].needs_grad;
+  return Push(std::move(node));
+}
+
+Tape::Ref Tape::Add(Ref a, Ref b) {
+  const Mat& va = value(a);
+  const Mat& vb = value(b);
+  assert(va.rows() == vb.rows() && va.cols() == vb.cols());
+  Node node;
+  node.op = Op::kAdd;
+  node.a = a;
+  node.b = b;
+  node.value = va;
+  for (size_t i = 0; i < va.rows(); ++i) {
+    for (size_t j = 0; j < va.cols(); ++j) {
+      node.value(i, j) += vb(i, j);
+    }
+  }
+  node.needs_grad = nodes_[static_cast<size_t>(a)].needs_grad ||
+                    nodes_[static_cast<size_t>(b)].needs_grad;
+  return Push(std::move(node));
+}
+
+Tape::Ref Tape::AddRowBroadcast(Ref a, Ref row) {
+  const Mat& va = value(a);
+  const Mat& vr = value(row);
+  assert(vr.rows() == 1 && vr.cols() == va.cols());
+  Node node;
+  node.op = Op::kAddRowBroadcast;
+  node.a = a;
+  node.b = row;
+  node.value = va;
+  for (size_t i = 0; i < va.rows(); ++i) {
+    for (size_t j = 0; j < va.cols(); ++j) {
+      node.value(i, j) += vr(0, j);
+    }
+  }
+  node.needs_grad = nodes_[static_cast<size_t>(a)].needs_grad ||
+                    nodes_[static_cast<size_t>(row)].needs_grad;
+  return Push(std::move(node));
+}
+
+Tape::Ref Tape::Scale(Ref a, double factor) {
+  Node node;
+  node.op = Op::kScale;
+  node.a = a;
+  node.scalar = factor;
+  node.value = value(a);
+  for (size_t i = 0; i < node.value.rows(); ++i) {
+    for (size_t j = 0; j < node.value.cols(); ++j) {
+      node.value(i, j) *= factor;
+    }
+  }
+  node.needs_grad = nodes_[static_cast<size_t>(a)].needs_grad;
+  return Push(std::move(node));
+}
+
+Tape::Ref Tape::Relu(Ref a) {
+  Node node;
+  node.op = Op::kRelu;
+  node.a = a;
+  node.value = value(a);
+  for (size_t i = 0; i < node.value.rows(); ++i) {
+    for (size_t j = 0; j < node.value.cols(); ++j) {
+      node.value(i, j) = std::max(0.0, node.value(i, j));
+    }
+  }
+  node.needs_grad = nodes_[static_cast<size_t>(a)].needs_grad;
+  return Push(std::move(node));
+}
+
+Tape::Ref Tape::Transpose(Ref a) {
+  Node node;
+  node.op = Op::kTranspose;
+  node.a = a;
+  node.value = ebs::Transpose(value(a));
+  node.needs_grad = nodes_[static_cast<size_t>(a)].needs_grad;
+  return Push(std::move(node));
+}
+
+Tape::Ref Tape::SoftmaxRows(Ref a) {
+  Node node;
+  node.op = Op::kSoftmaxRows;
+  node.a = a;
+  node.value = value(a);
+  for (size_t i = 0; i < node.value.rows(); ++i) {
+    double row_max = node.value(i, 0);
+    for (size_t j = 1; j < node.value.cols(); ++j) {
+      row_max = std::max(row_max, node.value(i, j));
+    }
+    double denom = 0.0;
+    for (size_t j = 0; j < node.value.cols(); ++j) {
+      node.value(i, j) = std::exp(node.value(i, j) - row_max);
+      denom += node.value(i, j);
+    }
+    for (size_t j = 0; j < node.value.cols(); ++j) {
+      node.value(i, j) /= denom;
+    }
+  }
+  node.needs_grad = nodes_[static_cast<size_t>(a)].needs_grad;
+  return Push(std::move(node));
+}
+
+Tape::Ref Tape::MeanRows(Ref a) {
+  const Mat& va = value(a);
+  Node node;
+  node.op = Op::kMeanRows;
+  node.a = a;
+  node.value = Mat(1, va.cols());
+  for (size_t i = 0; i < va.rows(); ++i) {
+    for (size_t j = 0; j < va.cols(); ++j) {
+      node.value(0, j) += va(i, j);
+    }
+  }
+  for (size_t j = 0; j < va.cols(); ++j) {
+    node.value(0, j) /= static_cast<double>(va.rows());
+  }
+  node.needs_grad = nodes_[static_cast<size_t>(a)].needs_grad;
+  return Push(std::move(node));
+}
+
+Tape::Ref Tape::SquaredError(Ref pred, double target) {
+  const Mat& vp = value(pred);
+  assert(vp.rows() == 1 && vp.cols() == 1);
+  Node node;
+  node.op = Op::kSquaredError;
+  node.a = pred;
+  node.scalar = target;
+  node.value = Mat(1, 1);
+  const double diff = vp(0, 0) - target;
+  node.value(0, 0) = diff * diff;
+  node.needs_grad = nodes_[static_cast<size_t>(pred)].needs_grad;
+  return Push(std::move(node));
+}
+
+void Tape::Backward(Ref loss) {
+  Node& last = nodes_[static_cast<size_t>(loss)];
+  assert(last.value.rows() == 1 && last.value.cols() == 1);
+  last.grad(0, 0) = 1.0;
+  for (size_t i = nodes_.size(); i-- > 0;) {
+    if (nodes_[i].needs_grad) {
+      BackwardNode(nodes_[i]);
+    }
+  }
+}
+
+void Tape::BackwardNode(Node& node) {
+  auto& grad = node.grad;
+  switch (node.op) {
+    case Op::kLeaf:
+      break;
+    case Op::kMatMul: {
+      Node& a = nodes_[static_cast<size_t>(node.a)];
+      Node& b = nodes_[static_cast<size_t>(node.b)];
+      if (a.needs_grad) {
+        const Mat da = ebs::MatMul(grad, ebs::Transpose(b.value));
+        for (size_t i = 0; i < da.rows(); ++i) {
+          for (size_t j = 0; j < da.cols(); ++j) {
+            a.grad(i, j) += da(i, j);
+          }
+        }
+      }
+      if (b.needs_grad) {
+        const Mat db = ebs::MatMul(ebs::Transpose(a.value), grad);
+        for (size_t i = 0; i < db.rows(); ++i) {
+          for (size_t j = 0; j < db.cols(); ++j) {
+            b.grad(i, j) += db(i, j);
+          }
+        }
+      }
+      break;
+    }
+    case Op::kAdd: {
+      Node& a = nodes_[static_cast<size_t>(node.a)];
+      Node& b = nodes_[static_cast<size_t>(node.b)];
+      for (size_t i = 0; i < grad.rows(); ++i) {
+        for (size_t j = 0; j < grad.cols(); ++j) {
+          if (a.needs_grad) {
+            a.grad(i, j) += grad(i, j);
+          }
+          if (b.needs_grad) {
+            b.grad(i, j) += grad(i, j);
+          }
+        }
+      }
+      break;
+    }
+    case Op::kAddRowBroadcast: {
+      Node& a = nodes_[static_cast<size_t>(node.a)];
+      Node& row = nodes_[static_cast<size_t>(node.b)];
+      for (size_t i = 0; i < grad.rows(); ++i) {
+        for (size_t j = 0; j < grad.cols(); ++j) {
+          if (a.needs_grad) {
+            a.grad(i, j) += grad(i, j);
+          }
+          if (row.needs_grad) {
+            row.grad(0, j) += grad(i, j);
+          }
+        }
+      }
+      break;
+    }
+    case Op::kScale: {
+      Node& a = nodes_[static_cast<size_t>(node.a)];
+      if (a.needs_grad) {
+        for (size_t i = 0; i < grad.rows(); ++i) {
+          for (size_t j = 0; j < grad.cols(); ++j) {
+            a.grad(i, j) += node.scalar * grad(i, j);
+          }
+        }
+      }
+      break;
+    }
+    case Op::kRelu: {
+      Node& a = nodes_[static_cast<size_t>(node.a)];
+      if (a.needs_grad) {
+        for (size_t i = 0; i < grad.rows(); ++i) {
+          for (size_t j = 0; j < grad.cols(); ++j) {
+            if (a.value(i, j) > 0.0) {
+              a.grad(i, j) += grad(i, j);
+            }
+          }
+        }
+      }
+      break;
+    }
+    case Op::kTranspose: {
+      Node& a = nodes_[static_cast<size_t>(node.a)];
+      if (a.needs_grad) {
+        for (size_t i = 0; i < grad.rows(); ++i) {
+          for (size_t j = 0; j < grad.cols(); ++j) {
+            a.grad(j, i) += grad(i, j);
+          }
+        }
+      }
+      break;
+    }
+    case Op::kSoftmaxRows: {
+      Node& a = nodes_[static_cast<size_t>(node.a)];
+      if (a.needs_grad) {
+        const Mat& y = node.value;
+        for (size_t i = 0; i < y.rows(); ++i) {
+          double dot = 0.0;
+          for (size_t j = 0; j < y.cols(); ++j) {
+            dot += grad(i, j) * y(i, j);
+          }
+          for (size_t j = 0; j < y.cols(); ++j) {
+            a.grad(i, j) += y(i, j) * (grad(i, j) - dot);
+          }
+        }
+      }
+      break;
+    }
+    case Op::kMeanRows: {
+      Node& a = nodes_[static_cast<size_t>(node.a)];
+      if (a.needs_grad) {
+        const double inv = 1.0 / static_cast<double>(a.value.rows());
+        for (size_t i = 0; i < a.value.rows(); ++i) {
+          for (size_t j = 0; j < a.value.cols(); ++j) {
+            a.grad(i, j) += grad(0, j) * inv;
+          }
+        }
+      }
+      break;
+    }
+    case Op::kSquaredError: {
+      Node& a = nodes_[static_cast<size_t>(node.a)];
+      if (a.needs_grad) {
+        a.grad(0, 0) += 2.0 * (a.value(0, 0) - node.scalar) * grad(0, 0);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace ebs

@@ -1,0 +1,77 @@
+// Minimal reverse-mode automatic differentiation over dense matrices.
+//
+// Supports exactly the operations the attention forecaster needs. A Tape is
+// built per training step: leaves are created for parameters and inputs, the
+// forward graph is recorded, and Backward() accumulates gradients in reverse
+// topological (creation) order.
+
+#ifndef SRC_ML_TENSOR_H_
+#define SRC_ML_TENSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ml/linalg.h"
+
+namespace ebs {
+
+class Tape {
+ public:
+  using Ref = int;
+
+  // Creates a leaf. Gradients are accumulated only for requires_grad leaves
+  // and for interior nodes on a path to one.
+  Ref Leaf(Mat value, bool requires_grad);
+
+  Ref MatMul(Ref a, Ref b);
+  Ref Add(Ref a, Ref b);               // same shape
+  Ref AddRowBroadcast(Ref a, Ref row);  // row is 1 x C, added to every row of a
+  Ref Scale(Ref a, double factor);
+  Ref Relu(Ref a);
+  Ref Transpose(Ref a);
+  Ref SoftmaxRows(Ref a);
+  Ref MeanRows(Ref a);  // R x C -> 1 x C
+  // Scalar loss (1x1): (pred(0,0) - target)^2. pred must be 1x1.
+  Ref SquaredError(Ref pred, double target);
+
+  // Seeds d(loss)=1 and propagates. loss must be 1x1.
+  void Backward(Ref loss);
+
+  const Mat& value(Ref ref) const { return nodes_[static_cast<size_t>(ref)].value; }
+  const Mat& grad(Ref ref) const { return nodes_[static_cast<size_t>(ref)].grad; }
+
+  size_t size() const { return nodes_.size(); }
+
+ private:
+  enum class Op : uint8_t {
+    kLeaf,
+    kMatMul,
+    kAdd,
+    kAddRowBroadcast,
+    kScale,
+    kRelu,
+    kTranspose,
+    kSoftmaxRows,
+    kMeanRows,
+    kSquaredError,
+  };
+
+  struct Node {
+    Op op = Op::kLeaf;
+    Mat value;
+    Mat grad;
+    int a = -1;
+    int b = -1;
+    double scalar = 0.0;  // Scale factor / SquaredError target
+    bool needs_grad = false;
+  };
+
+  Ref Push(Node node);
+  void BackwardNode(Node& node);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace ebs
+
+#endif  // SRC_ML_TENSOR_H_

@@ -1,0 +1,23 @@
+#include "src/topology/entities.h"
+
+namespace ebs {
+
+const char* AppTypeName(AppType type) {
+  switch (type) {
+    case AppType::kBigData:
+      return "BigData";
+    case AppType::kWebApp:
+      return "WebApp";
+    case AppType::kMiddleware:
+      return "Middleware";
+    case AppType::kFileSystem:
+      return "FileSystem";
+    case AppType::kDatabase:
+      return "Database";
+    case AppType::kDocker:
+      return "Docker";
+  }
+  return "Unknown";
+}
+
+}  // namespace ebs

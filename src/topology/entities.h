@@ -1,0 +1,125 @@
+// Entity records of the EBS stack (Figure 1 of the paper).
+//
+// Compute side: ComputeNode hosts VMs; each VM mounts VDs; each VD exposes
+// 1..8 virtualized NVMe queue pairs (QPs); the hypervisor runs per-core
+// polling worker threads (WTs), each statically bound to a set of QPs.
+//
+// Storage side: a VD's logical address space is split into 32 GiB segments;
+// each segment is served by a BlockServer (BS) process on a StorageNode; the
+// BS persists segment data through the node-local ChunkServer (CS).
+
+#ifndef SRC_TOPOLOGY_ENTITIES_H_
+#define SRC_TOPOLOGY_ENTITIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/topology/ids.h"
+
+namespace ebs {
+
+inline constexpr uint64_t kKiB = 1024ULL;
+inline constexpr uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr uint64_t kGiB = 1024ULL * kMiB;
+inline constexpr uint64_t kSegmentBytes = 32ULL * kGiB;
+inline constexpr uint64_t kPageBytes = 4ULL * kKiB;
+inline constexpr int kMaxQpPerVd = 8;
+
+// Application classes inferred from the specification dataset (Table 5).
+enum class AppType : uint8_t {
+  kBigData = 0,
+  kWebApp,
+  kMiddleware,
+  kFileSystem,
+  kDatabase,
+  kDocker,
+};
+inline constexpr int kAppTypeCount = 6;
+const char* AppTypeName(AppType type);
+
+// Subscription-level VD specification: capacity plus the throughput/IOPS caps
+// enforced by the hypervisor throttle (§5).
+struct VdSpec {
+  std::string name;
+  uint64_t capacity_bytes = 0;
+  double throughput_cap_mbps = 0.0;  // combined read+write MB/s
+  double iops_cap = 0.0;             // combined read+write IO/s
+  int qp_count = 1;
+};
+
+struct User {
+  UserId id;
+  std::vector<VmId> vms;
+};
+
+struct Vm {
+  VmId id;
+  UserId user;
+  ComputeNodeId node;
+  AppType app = AppType::kWebApp;
+  std::vector<VdId> vds;
+};
+
+struct Vd {
+  VdId id;
+  VmId vm;
+  UserId user;
+  uint32_t spec_index = 0;
+  uint64_t capacity_bytes = 0;
+  double throughput_cap_mbps = 0.0;
+  double iops_cap = 0.0;
+  std::vector<QpId> qps;
+  std::vector<SegmentId> segments;  // ordered by offset within the VD
+};
+
+struct Qp {
+  QpId id;
+  VdId vd;
+  VmId vm;
+  ComputeNodeId node;
+  WorkerThreadId bound_wt;  // assigned by the hypervisor load balancer
+};
+
+struct ComputeNode {
+  ComputeNodeId id;
+  std::vector<WorkerThreadId> wts;
+  std::vector<VmId> vms;
+  bool bare_metal = false;
+};
+
+struct WorkerThread {
+  WorkerThreadId id;
+  ComputeNodeId node;
+  std::vector<QpId> bound_qps;
+};
+
+struct StorageCluster {
+  StorageClusterId id;
+  std::vector<StorageNodeId> nodes;
+};
+
+struct StorageNode {
+  StorageNodeId id;
+  StorageClusterId cluster;
+  BlockServerId block_server;
+  ChunkServerId chunk_server;
+};
+
+struct BlockServer {
+  BlockServerId id;
+  StorageNodeId node;
+  StorageClusterId cluster;
+  std::vector<SegmentId> segments;
+};
+
+struct Segment {
+  SegmentId id;
+  VdId vd;
+  uint32_t index_in_vd = 0;  // covers [index*32GiB, (index+1)*32GiB)
+  BlockServerId server;
+};
+
+}  // namespace ebs
+
+#endif  // SRC_TOPOLOGY_ENTITIES_H_

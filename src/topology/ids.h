@@ -1,0 +1,68 @@
+// Strongly-typed entity identifiers for the EBS stack.
+//
+// The stack has many parallel index spaces (users, VMs, VDs, QPs, worker
+// threads, segments, BlockServers, ...). A shared Id<Tag> template prevents
+// accidentally indexing one table with another's id, at zero runtime cost.
+
+#ifndef SRC_TOPOLOGY_IDS_H_
+#define SRC_TOPOLOGY_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace ebs {
+
+template <typename Tag>
+class Id {
+ public:
+  static constexpr uint32_t kInvalidValue = std::numeric_limits<uint32_t>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(uint32_t value) : value_(value) {}
+
+  constexpr uint32_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalidValue; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+
+ private:
+  uint32_t value_ = kInvalidValue;
+};
+
+struct UserTag {};
+struct VmTag {};
+struct VdTag {};
+struct QpTag {};
+struct ComputeNodeTag {};
+struct WorkerThreadTag {};
+struct StorageClusterTag {};
+struct StorageNodeTag {};
+struct BlockServerTag {};
+struct ChunkServerTag {};
+struct SegmentTag {};
+
+using UserId = Id<UserTag>;
+using VmId = Id<VmTag>;
+using VdId = Id<VdTag>;
+using QpId = Id<QpTag>;
+using ComputeNodeId = Id<ComputeNodeTag>;
+using WorkerThreadId = Id<WorkerThreadTag>;
+using StorageClusterId = Id<StorageClusterTag>;
+using StorageNodeId = Id<StorageNodeTag>;
+using BlockServerId = Id<BlockServerTag>;
+using ChunkServerId = Id<ChunkServerTag>;
+using SegmentId = Id<SegmentTag>;
+
+}  // namespace ebs
+
+template <typename Tag>
+struct std::hash<ebs::Id<Tag>> {
+  size_t operator()(ebs::Id<Tag> id) const noexcept {
+    return std::hash<uint32_t>{}(id.value());
+  }
+};
+
+#endif  // SRC_TOPOLOGY_IDS_H_

@@ -1,0 +1,56 @@
+#include "src/topology/latency.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace ebs {
+
+const char* OpTypeName(OpType op) { return op == OpType::kRead ? "read" : "write"; }
+
+const char* StackComponentName(StackComponent component) {
+  switch (component) {
+    case StackComponent::kComputeNode:
+      return "compute-node";
+    case StackComponent::kFrontendNetwork:
+      return "frontend-net";
+    case StackComponent::kBlockServer:
+      return "block-server";
+    case StackComponent::kBackendNetwork:
+      return "backend-net";
+    case StackComponent::kChunkServer:
+      return "chunk-server";
+  }
+  return "unknown";
+}
+
+double LatencyBreakdown::Total() const {
+  return std::accumulate(component_us.begin(), component_us.end(), 0.0);
+}
+
+double LatencyBreakdown::TotalWithCnCacheHit(double flash_read_us) const {
+  return component_us[static_cast<int>(StackComponent::kComputeNode)] + flash_read_us;
+}
+
+double LatencyBreakdown::TotalWithBsCacheHit(double flash_read_us) const {
+  return component_us[static_cast<int>(StackComponent::kComputeNode)] +
+         component_us[static_cast<int>(StackComponent::kFrontendNetwork)] +
+         component_us[static_cast<int>(StackComponent::kBlockServer)] + flash_read_us;
+}
+
+LatencyModel::LatencyModel(LatencyModelConfig config) : config_(config) {}
+
+LatencyBreakdown LatencyModel::Sample(OpType op, Rng& rng) const {
+  const auto& base =
+      op == OpType::kRead ? config_.read_base_us : config_.write_base_us;
+  LatencyBreakdown breakdown;
+  for (int c = 0; c < kStackComponentCount; ++c) {
+    double us = base[c] * std::exp(config_.jitter_sigma * rng.NextGaussian());
+    if (rng.NextBool(config_.straggler_probability)) {
+      us *= config_.straggler_multiplier;
+    }
+    breakdown.component_us[c] = us;
+  }
+  return breakdown;
+}
+
+}  // namespace ebs

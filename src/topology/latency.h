@@ -1,0 +1,71 @@
+// Per-component IO latency model.
+//
+// DiTing records latency across five components: compute node, frontend
+// network, BlockServer, backend network, ChunkServer (§2.3). We model each
+// component as a lognormal around a per-op base, with a heavy upper tail for
+// occasional stragglers (GC pauses, network incast). The cache-location study
+// (§7.3.2) composes these: a CN-cache hit skips everything past the compute
+// node; a BS-cache hit skips the backend network and ChunkServer.
+
+#ifndef SRC_TOPOLOGY_LATENCY_H_
+#define SRC_TOPOLOGY_LATENCY_H_
+
+#include <array>
+
+#include "src/util/rng.h"
+
+namespace ebs {
+
+enum class OpType : uint8_t { kRead = 0, kWrite = 1 };
+inline constexpr int kOpTypeCount = 2;
+const char* OpTypeName(OpType op);
+
+enum class StackComponent : uint8_t {
+  kComputeNode = 0,
+  kFrontendNetwork,
+  kBlockServer,
+  kBackendNetwork,
+  kChunkServer,
+};
+inline constexpr int kStackComponentCount = 5;
+const char* StackComponentName(StackComponent component);
+
+// Per-IO latency split, all in microseconds.
+struct LatencyBreakdown {
+  std::array<double, kStackComponentCount> component_us = {};
+  double Total() const;
+  // End-to-end latency when the IO hits a cache at the given depth:
+  // CN-cache -> only the compute-node slice (plus flash media time),
+  // BS-cache -> CN + frontend + BS slices (plus flash media time).
+  double TotalWithCnCacheHit(double flash_read_us) const;
+  double TotalWithBsCacheHit(double flash_read_us) const;
+};
+
+struct LatencyModelConfig {
+  // Median component latencies in microseconds, reads.
+  std::array<double, kStackComponentCount> read_base_us = {12.0, 28.0, 20.0, 24.0, 85.0};
+  // Writes: ChunkServer persists three replicas -> fatter media slice.
+  std::array<double, kStackComponentCount> write_base_us = {14.0, 30.0, 26.0, 28.0, 140.0};
+  double jitter_sigma = 0.35;        // lognormal sigma around the base
+  double straggler_probability = 0.01;
+  double straggler_multiplier = 12.0;  // tail events stretch the component
+  double flash_read_us = 18.0;         // persistent-cache media time
+};
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(LatencyModelConfig config = {});
+
+  // Samples a full five-component breakdown for one IO.
+  LatencyBreakdown Sample(OpType op, Rng& rng) const;
+
+  double flash_read_us() const { return config_.flash_read_us; }
+  const LatencyModelConfig& config() const { return config_; }
+
+ private:
+  LatencyModelConfig config_;
+};
+
+}  // namespace ebs
+
+#endif  // SRC_TOPOLOGY_LATENCY_H_

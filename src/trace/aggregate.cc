@@ -1,0 +1,115 @@
+#include "src/trace/aggregate.h"
+
+#include <algorithm>
+
+namespace ebs {
+
+namespace {
+
+// Sums QP-level series into buckets chosen by `bucket_of(qp)`.
+template <typename BucketFn>
+std::vector<RwSeries> RollupComputeSide(const Fleet& fleet, const MetricDataset& metrics,
+                                        size_t bucket_count, BucketFn bucket_of) {
+  std::vector<RwSeries> out(bucket_count);
+  for (auto& series : out) {
+    series = RwSeries(metrics.window_steps, metrics.step_seconds);
+  }
+  for (const Qp& qp : fleet.qps) {
+    const RwSeries& src = metrics.qp_series[qp.id.value()];
+    out[bucket_of(qp)].Accumulate(src);
+  }
+  return out;
+}
+
+// Sums segment-level series into buckets chosen by `bucket_of(segment)`.
+template <typename BucketFn>
+std::vector<RwSeries> RollupStorageSide(const Fleet& fleet, const MetricDataset& metrics,
+                                        size_t bucket_count, BucketFn bucket_of) {
+  std::vector<RwSeries> out(bucket_count);
+  for (auto& series : out) {
+    series = RwSeries(metrics.window_steps, metrics.step_seconds);
+  }
+  for (const auto& [seg_value, src] : metrics.segment_series) {
+    const Segment& segment = fleet.segments[seg_value];
+    out[bucket_of(segment)].Accumulate(src);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<RwSeries> RollupToVd(const Fleet& fleet, const MetricDataset& metrics) {
+  return RollupComputeSide(fleet, metrics, fleet.vds.size(),
+                           [](const Qp& qp) { return qp.vd.value(); });
+}
+
+std::vector<RwSeries> RollupToVm(const Fleet& fleet, const MetricDataset& metrics) {
+  return RollupComputeSide(fleet, metrics, fleet.vms.size(),
+                           [](const Qp& qp) { return qp.vm.value(); });
+}
+
+std::vector<RwSeries> RollupToUser(const Fleet& fleet, const MetricDataset& metrics) {
+  return RollupComputeSide(fleet, metrics, fleet.users.size(), [&fleet](const Qp& qp) {
+    return fleet.vms[qp.vm.value()].user.value();
+  });
+}
+
+std::vector<RwSeries> RollupToWt(const Fleet& fleet, const MetricDataset& metrics) {
+  return RollupComputeSide(fleet, metrics, fleet.wts.size(),
+                           [](const Qp& qp) { return qp.bound_wt.value(); });
+}
+
+std::vector<RwSeries> RollupToComputeNode(const Fleet& fleet, const MetricDataset& metrics) {
+  return RollupComputeSide(fleet, metrics, fleet.nodes.size(),
+                           [](const Qp& qp) { return qp.node.value(); });
+}
+
+std::vector<RwSeries> RollupToBlockServer(const Fleet& fleet, const MetricDataset& metrics) {
+  return RollupStorageSide(fleet, metrics, fleet.block_servers.size(),
+                           [](const Segment& segment) { return segment.server.value(); });
+}
+
+std::vector<RwSeries> RollupToStorageNode(const Fleet& fleet, const MetricDataset& metrics) {
+  return RollupStorageSide(fleet, metrics, fleet.storage_nodes.size(),
+                           [&fleet](const Segment& segment) {
+                             return fleet.block_servers[segment.server.value()].node.value();
+                           });
+}
+
+MetricDataset AggregateTraces(const Fleet& fleet, const TraceDataset& traces,
+                              double step_seconds, size_t window_steps) {
+  MetricDataset metrics;
+  metrics.step_seconds = step_seconds;
+  metrics.window_steps = window_steps;
+  metrics.qp_series.assign(fleet.qps.size(), RwSeries(window_steps, step_seconds));
+
+  const double scale = 1.0 / traces.sampling_rate;
+  for (const TraceRecord& r : traces.records) {
+    size_t step = static_cast<size_t>(r.timestamp / step_seconds);
+    step = std::min(step, window_steps - 1);
+    const double bytes = static_cast<double>(r.size_bytes) * scale;
+
+    RwSeries& qp = metrics.qp_series[r.qp.value()];
+    qp.MutableBytes(r.op)[step] += bytes;
+    qp.MutableOps(r.op)[step] += scale;
+
+    RwSeries& seg = metrics.MutableSegmentSeries(r.segment);
+    seg.MutableBytes(r.op)[step] += bytes;
+    seg.MutableOps(r.op)[step] += scale;
+  }
+  return metrics;
+}
+
+TraceDataset DownsampleTraces(const TraceDataset& traces, double sampling_rate, Rng& rng) {
+  TraceDataset out;
+  out.window_seconds = traces.window_seconds;
+  out.sampling_rate = traces.sampling_rate * sampling_rate;
+  for (const TraceRecord& r : traces.records) {
+    if (rng.NextBool(sampling_rate)) {
+      out.records.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace ebs

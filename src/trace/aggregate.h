@@ -1,0 +1,36 @@
+// Rollups of the metric dataset to the aggregation levels studied in the
+// paper (Table 3: CN / VM / SN / Seg, plus WT, VD and user for §4-§6), and
+// reconstruction of metric series from sampled traces.
+
+#ifndef SRC_TRACE_AGGREGATE_H_
+#define SRC_TRACE_AGGREGATE_H_
+
+#include <vector>
+
+#include "src/topology/fleet.h"
+#include "src/trace/records.h"
+#include "src/util/rng.h"
+
+namespace ebs {
+
+// Each rollup returns one RwSeries per entity, indexed by the entity id.
+std::vector<RwSeries> RollupToVd(const Fleet& fleet, const MetricDataset& metrics);
+std::vector<RwSeries> RollupToVm(const Fleet& fleet, const MetricDataset& metrics);
+std::vector<RwSeries> RollupToUser(const Fleet& fleet, const MetricDataset& metrics);
+std::vector<RwSeries> RollupToWt(const Fleet& fleet, const MetricDataset& metrics);
+std::vector<RwSeries> RollupToComputeNode(const Fleet& fleet, const MetricDataset& metrics);
+std::vector<RwSeries> RollupToBlockServer(const Fleet& fleet, const MetricDataset& metrics);
+std::vector<RwSeries> RollupToStorageNode(const Fleet& fleet, const MetricDataset& metrics);
+
+// Rebuilds an (approximate) metric dataset from sampled traces by scaling
+// each record by 1/sampling_rate. Used to validate dataset consistency and to
+// mimic analyses that only have trace data available.
+MetricDataset AggregateTraces(const Fleet& fleet, const TraceDataset& traces,
+                              double step_seconds, size_t window_steps);
+
+// Random 1/k thinning of a trace dataset (DiTing's sampling stage).
+TraceDataset DownsampleTraces(const TraceDataset& traces, double sampling_rate, Rng& rng);
+
+}  // namespace ebs
+
+#endif  // SRC_TRACE_AGGREGATE_H_

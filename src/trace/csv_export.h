@@ -1,0 +1,33 @@
+// DiTing-style CSV dumps of the two datasets, for offline analysis with
+// external tooling (pandas, duckdb, gnuplot). Formats follow the paper's
+// Table 1 schema.
+
+#ifndef SRC_TRACE_CSV_EXPORT_H_
+#define SRC_TRACE_CSV_EXPORT_H_
+
+#include <string>
+
+#include "src/topology/fleet.h"
+#include "src/trace/records.h"
+
+namespace ebs {
+
+// trace.csv: one row per sampled IO —
+// timestamp,op,size,offset,user,vm,vd,qp,wt,cn,segment,bs,sn,
+// lat_cn_us,lat_fe_us,lat_bs_us,lat_be_us,lat_cs_us
+// Returns false if the file could not be opened.
+bool WriteTracesCsv(const TraceDataset& traces, const std::string& path);
+
+// compute_metrics.csv: one row per (step, QP) with traffic —
+// step,user,vm,vd,wt,qp,read_bytes,write_bytes,read_ops,write_ops
+bool WriteComputeMetricsCsv(const Fleet& fleet, const MetricDataset& metrics,
+                            const std::string& path);
+
+// storage_metrics.csv: one row per (step, segment) with traffic —
+// step,user,vm,vd,segment,bs,sn,read_bytes,write_bytes,read_ops,write_ops
+bool WriteStorageMetricsCsv(const Fleet& fleet, const MetricDataset& metrics,
+                            const std::string& path);
+
+}  // namespace ebs
+
+#endif  // SRC_TRACE_CSV_EXPORT_H_

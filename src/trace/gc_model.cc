@@ -1,0 +1,62 @@
+#include "src/trace/gc_model.h"
+
+#include <algorithm>
+
+#include "src/trace/aggregate.h"
+
+namespace ebs {
+
+bool GcSchedule::InGc(BlockServerId bs, double timestamp) const {
+  if (bs.value() >= windows.size()) {
+    return false;
+  }
+  // Windows are few and ordered; binary search on start.
+  const auto& bs_windows = windows[bs.value()];
+  auto it = std::upper_bound(
+      bs_windows.begin(), bs_windows.end(), timestamp,
+      [](double t, const std::pair<double, double>& w) { return t < w.first; });
+  if (it == bs_windows.begin()) {
+    return false;
+  }
+  --it;
+  return timestamp >= it->first && timestamp < it->second;
+}
+
+GcSchedule BuildGcSchedule(const Fleet& fleet, const MetricDataset& metrics,
+                           const GcConfig& config) {
+  GcSchedule schedule;
+  schedule.windows.resize(fleet.block_servers.size());
+
+  const std::vector<RwSeries> bs_series = RollupToBlockServer(fleet, metrics);
+  for (const BlockServer& bs : fleet.block_servers) {
+    const TimeSeries& writes = bs_series[bs.id.value()].write_bytes;
+    double accumulated = 0.0;
+    double gc_until = -1.0;
+    for (size_t t = 0; t < writes.size(); ++t) {
+      accumulated += writes[t];
+      const double now = static_cast<double>(t) * metrics.step_seconds;
+      if (accumulated >= config.trigger_bytes && now >= gc_until) {
+        schedule.windows[bs.id.value()].emplace_back(now, now + config.duration_seconds);
+        ++schedule.total_windows;
+        gc_until = now + config.duration_seconds;
+        accumulated = 0.0;
+      }
+    }
+  }
+  return schedule;
+}
+
+size_t ApplyGcModel(TraceDataset& traces, const GcSchedule& schedule,
+                    const GcConfig& config) {
+  size_t affected = 0;
+  const int cs = static_cast<int>(StackComponent::kChunkServer);
+  for (TraceRecord& r : traces.records) {
+    if (schedule.InGc(r.bs, r.timestamp)) {
+      r.latency.component_us[cs] *= config.cs_latency_multiplier;
+      ++affected;
+    }
+  }
+  return affected;
+}
+
+}  // namespace ebs

@@ -1,0 +1,51 @@
+// BlockServer garbage-collection model.
+//
+// §2.1: "Due to the append-only nature, BS also needs to periodically perform
+// garbage collection for space reclaiming." GC competes with foreground IO,
+// so tail latency on a BS correlates with its write load. The model derives a
+// GC schedule from each BS's write-byte series (a collection runs after
+// `trigger_bytes` of appends and lasts `duration_seconds`) and inflates the
+// ChunkServer latency slice of trace records that land in a GC window.
+//
+// This makes the latency population load-dependent — in particular, it adds
+// the write-pressure tail that no front-of-stack cache can absorb (§7.3.2's
+// p99 observation).
+
+#ifndef SRC_TRACE_GC_MODEL_H_
+#define SRC_TRACE_GC_MODEL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/topology/fleet.h"
+#include "src/trace/records.h"
+
+namespace ebs {
+
+struct GcConfig {
+  double trigger_bytes = 20e9;       // appends between collections, per BS
+  double duration_seconds = 3.0;     // foreground impact window
+  double cs_latency_multiplier = 6.0;  // ChunkServer slice inflation during GC
+};
+
+struct GcSchedule {
+  // Per BlockServer (indexed by id): [start, end) windows in seconds.
+  std::vector<std::vector<std::pair<double, double>>> windows;
+  size_t total_windows = 0;
+
+  bool InGc(BlockServerId bs, double timestamp) const;
+};
+
+// Derives the schedule from the storage-domain metric series.
+GcSchedule BuildGcSchedule(const Fleet& fleet, const MetricDataset& metrics,
+                           const GcConfig& config);
+
+// Inflates the CS latency of records inside GC windows; returns how many
+// records were affected.
+size_t ApplyGcModel(TraceDataset& traces, const GcSchedule& schedule,
+                    const GcConfig& config);
+
+}  // namespace ebs
+
+#endif  // SRC_TRACE_GC_MODEL_H_

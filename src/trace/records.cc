@@ -1,0 +1,69 @@
+#include "src/trace/records.h"
+
+namespace ebs {
+
+uint64_t TraceDataset::CountOps(OpType op) const {
+  uint64_t count = 0;
+  for (const TraceRecord& r : records) {
+    if (r.op == op) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+double TraceDataset::SampledBytes(OpType op) const {
+  double bytes = 0.0;
+  for (const TraceRecord& r : records) {
+    if (r.op == op) {
+      bytes += static_cast<double>(r.size_bytes);
+    }
+  }
+  return bytes;
+}
+
+RwSeries::RwSeries(size_t steps, double step_seconds)
+    : read_bytes(steps, step_seconds),
+      write_bytes(steps, step_seconds),
+      read_ops(steps, step_seconds),
+      write_ops(steps, step_seconds) {}
+
+void RwSeries::Accumulate(const RwSeries& other) {
+  read_bytes.Accumulate(other.read_bytes);
+  write_bytes.Accumulate(other.write_bytes);
+  read_ops.Accumulate(other.read_ops);
+  write_ops.Accumulate(other.write_ops);
+}
+
+const TimeSeries& RwSeries::Bytes(OpType op) const {
+  return op == OpType::kRead ? read_bytes : write_bytes;
+}
+
+const TimeSeries& RwSeries::Ops(OpType op) const {
+  return op == OpType::kRead ? read_ops : write_ops;
+}
+
+TimeSeries& RwSeries::MutableBytes(OpType op) {
+  return op == OpType::kRead ? read_bytes : write_bytes;
+}
+
+TimeSeries& RwSeries::MutableOps(OpType op) {
+  return op == OpType::kRead ? read_ops : write_ops;
+}
+
+double RwSeries::TotalBytes() const { return read_bytes.SumAll() + write_bytes.SumAll(); }
+
+const RwSeries* MetricDataset::SegmentSeries(SegmentId id) const {
+  const auto it = segment_series.find(id.value());
+  return it == segment_series.end() ? nullptr : &it->second;
+}
+
+RwSeries& MetricDataset::MutableSegmentSeries(SegmentId id) {
+  auto [it, inserted] = segment_series.try_emplace(id.value());
+  if (inserted) {
+    it->second = RwSeries(window_steps, step_seconds);
+  }
+  return it->second;
+}
+
+}  // namespace ebs

@@ -1,0 +1,90 @@
+// Dataset schemas mirroring the paper's DiTing collection (§2.3).
+//
+// Two datasets drive every analysis:
+//  - trace data: per-IO records sampled at 1/3200, carrying op/size/offset,
+//    the full stack path (user, VM, VD, QP, WT, CN, segment, BS, SN) and the
+//    five-component latency breakdown;
+//  - metric data: full-scale (unsampled) second-level throughput/IOPS
+//    aggregates, per QP-WT pair on the compute side and per segment on the
+//    storage side (Table 1).
+
+#ifndef SRC_TRACE_RECORDS_H_
+#define SRC_TRACE_RECORDS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/topology/entities.h"
+#include "src/topology/ids.h"
+#include "src/topology/latency.h"
+#include "src/util/time_series.h"
+
+namespace ebs {
+
+inline constexpr double kTraceSamplingRate = 1.0 / 3200.0;
+
+// One sampled IO ("trace" in the paper's terminology).
+struct TraceRecord {
+  double timestamp = 0.0;  // seconds from window start; sub-second resolution
+  OpType op = OpType::kRead;
+  uint32_t size_bytes = 0;
+  uint64_t offset = 0;  // LBA byte offset within the VD
+
+  UserId user;
+  VmId vm;
+  VdId vd;
+  QpId qp;
+  WorkerThreadId wt;
+  ComputeNodeId cn;
+  SegmentId segment;
+  BlockServerId bs;
+  StorageNodeId sn;
+
+  LatencyBreakdown latency;
+};
+
+struct TraceDataset {
+  std::vector<TraceRecord> records;
+  double window_seconds = 0.0;
+  double sampling_rate = kTraceSamplingRate;
+
+  uint64_t CountOps(OpType op) const;
+  // Total bytes of the sampled records for one op (not scaled up).
+  double SampledBytes(OpType op) const;
+};
+
+// Read/write traffic of one entity over the observation window.
+struct RwSeries {
+  TimeSeries read_bytes;   // bytes transferred per step
+  TimeSeries write_bytes;
+  TimeSeries read_ops;     // IOs completed per step
+  TimeSeries write_ops;
+
+  RwSeries() = default;
+  RwSeries(size_t steps, double step_seconds);
+
+  void Accumulate(const RwSeries& other);
+  const TimeSeries& Bytes(OpType op) const;
+  const TimeSeries& Ops(OpType op) const;
+  TimeSeries& MutableBytes(OpType op);
+  TimeSeries& MutableOps(OpType op);
+  double TotalBytes() const;
+};
+
+// The metric dataset: per-QP series (compute domain) plus per-segment series
+// (storage domain; sparse — only segments that ever saw traffic).
+struct MetricDataset {
+  double step_seconds = 1.0;
+  size_t window_steps = 0;
+
+  std::vector<RwSeries> qp_series;  // indexed by QpId::value()
+  std::unordered_map<uint32_t, RwSeries> segment_series;  // key: SegmentId::value()
+
+  const RwSeries* SegmentSeries(SegmentId id) const;
+  RwSeries& MutableSegmentSeries(SegmentId id);
+};
+
+}  // namespace ebs
+
+#endif  // SRC_TRACE_RECORDS_H_

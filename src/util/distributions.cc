@@ -1,0 +1,149 @@
+#include "src/util/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace ebs {
+
+// ---------------------------------------------------------------------------
+// ZipfDistribution — rejection-inversion (Hörmann & Derflinger 1996).
+// ---------------------------------------------------------------------------
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+  assert(n >= 1);
+  assert(alpha > 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -alpha));
+}
+
+double ZipfDistribution::H(double x) const {
+  // Integral of 1/x^alpha: handles alpha == 1 (log) and alpha != 1.
+  if (std::abs(alpha_ - 1.0) < 1e-12) {
+    return std::log(x);
+  }
+  return (std::pow(x, 1.0 - alpha_) - 1.0) / (1.0 - alpha_);
+}
+
+double ZipfDistribution::HInverse(double x) const {
+  if (std::abs(alpha_ - 1.0) < 1e-12) {
+    return std::exp(x);
+  }
+  return std::pow(1.0 + x * (1.0 - alpha_), 1.0 / (1.0 - alpha_));
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  if (n_ == 1) {
+    return 0;
+  }
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) {
+      k = 1.0;
+    } else if (k > static_cast<double>(n_)) {
+      k = static_cast<double>(n_);
+    }
+    if (k - x <= s_ || u >= H(k + 0.5) - std::pow(k, -alpha_)) {
+      // Ranks are 1-based internally; expose 0-based.
+      return static_cast<uint64_t>(k) - 1;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ParetoDistribution
+// ---------------------------------------------------------------------------
+
+ParetoDistribution::ParetoDistribution(double scale, double shape) : scale_(scale), shape_(shape) {
+  assert(scale > 0.0);
+  assert(shape > 0.0);
+}
+
+double ParetoDistribution::Sample(Rng& rng) const {
+  double u;
+  do {
+    u = rng.NextDouble();
+  } while (u <= 0.0);
+  return scale_ / std::pow(u, 1.0 / shape_);
+}
+
+double ParetoDistribution::Mean() const {
+  if (shape_ <= 1.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return shape_ * scale_ / (shape_ - 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// LognormalDistribution
+// ---------------------------------------------------------------------------
+
+LognormalDistribution::LognormalDistribution(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  assert(sigma >= 0.0);
+}
+
+double LognormalDistribution::Sample(Rng& rng) const {
+  return std::exp(mu_ + sigma_ * rng.NextGaussian());
+}
+
+double LognormalDistribution::Mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+// ---------------------------------------------------------------------------
+// CategoricalDistribution — Walker's alias method.
+// ---------------------------------------------------------------------------
+
+CategoricalDistribution::CategoricalDistribution(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  assert(total > 0.0);
+  const size_t k = weights.size();
+  prob_.resize(k);
+  alias_.resize(k, 0);
+
+  std::vector<double> scaled(k);
+  for (size_t i = 0; i < k; ++i) {
+    assert(weights[i] >= 0.0);
+    scaled[i] = weights[i] * static_cast<double>(k) / total;
+  }
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  for (size_t i = 0; i < k; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = scaled[l] + scaled[s] - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (const uint32_t i : large) {
+    prob_[i] = 1.0;
+  }
+  for (const uint32_t i : small) {
+    prob_[i] = 1.0;  // Numerical leftovers.
+  }
+}
+
+uint64_t CategoricalDistribution::Sample(Rng& rng) const {
+  const uint64_t column = rng.NextBounded(prob_.size());
+  return rng.NextDouble() < prob_[column] ? column : alias_[column];
+}
+
+// ---------------------------------------------------------------------------
+
+uint64_t SampleCountLognormal(Rng& rng, double mu, double sigma, uint64_t lo, uint64_t hi) {
+  const LognormalDistribution dist(mu, sigma);
+  const double x = dist.Sample(rng);
+  const uint64_t count = x <= 0.0 ? lo : static_cast<uint64_t>(std::llround(x));
+  return std::clamp(count, lo, hi);
+}
+
+}  // namespace ebs

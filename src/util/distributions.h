@@ -1,0 +1,90 @@
+// Heavy-tailed and discrete distributions used by the workload generator.
+//
+// Cloud block-store traffic is dominated by skew: per-entity volumes follow
+// heavy tails (lognormal / Pareto) and per-address popularity follows Zipf.
+// These samplers are deliberately self-contained so the fleet synthesis is
+// reproducible independent of libstdc++'s unspecified distribution algorithms.
+
+#ifndef SRC_UTIL_DISTRIBUTIONS_H_
+#define SRC_UTIL_DISTRIBUTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace ebs {
+
+// Zipf(alpha) over ranks {0, 1, ..., n-1}: P(k) proportional to 1/(k+1)^alpha.
+// Uses the rejection-inversion sampler of Hörmann & Derflinger, which is O(1)
+// per draw and needs no O(n) table, so it scales to multi-terabyte address
+// spaces (n up to 2^40 pages).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double alpha);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double alpha_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+// Pareto (Type I) with scale x_m > 0 and shape alpha > 0; mean exists for
+// alpha > 1. Models burst magnitudes and ON-period durations.
+class ParetoDistribution {
+ public:
+  ParetoDistribution(double scale, double shape);
+  double Sample(Rng& rng) const;
+  // Mean of the distribution; +inf when shape <= 1.
+  double Mean() const;
+
+ private:
+  double scale_;
+  double shape_;
+};
+
+// Lognormal with parameters (mu, sigma) of the underlying normal. Models
+// per-entity base traffic volumes (heavy but not power-law tail).
+class LognormalDistribution {
+ public:
+  LognormalDistribution(double mu, double sigma);
+  double Sample(Rng& rng) const;
+  double Mean() const;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+// Weighted categorical over {0, ..., k-1} with O(1) sampling via Walker's
+// alias method. Weights need not be normalized; all must be >= 0 with a
+// positive sum.
+class CategoricalDistribution {
+ public:
+  explicit CategoricalDistribution(const std::vector<double>& weights);
+  uint64_t Sample(Rng& rng) const;
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+// Draws an integer count from a discretized lognormal, clamped to [lo, hi].
+// Convenience for entity sizing (VMs per user, VDs per VM, ...).
+uint64_t SampleCountLognormal(Rng& rng, double mu, double sigma, uint64_t lo, uint64_t hi);
+
+}  // namespace ebs
+
+#endif  // SRC_UTIL_DISTRIBUTIONS_H_

@@ -1,0 +1,89 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/stats.h"
+
+namespace ebs {
+
+Histogram::Histogram(double lo, double hi, size_t bins) : lo_(lo), hi_(hi) {
+  assert(bins > 0);
+  assert(hi > lo);
+  counts_.assign(bins, 0);
+  width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void Histogram::Add(double value) {
+  double idx = std::floor((value - lo_) / width_);
+  idx = std::clamp(idx, 0.0, static_cast<double>(counts_.size() - 1));
+  ++counts_[static_cast<size_t>(idx)];
+  ++total_;
+}
+
+void Histogram::AddAll(std::span<const double> values) {
+  for (const double v : values) {
+    Add(v);
+  }
+}
+
+double Histogram::Fraction(size_t bin) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+double Histogram::BinLow(size_t bin) const { return lo_ + width_ * static_cast<double>(bin); }
+
+double Histogram::BinHigh(size_t bin) const { return BinLow(bin) + width_; }
+
+std::string Histogram::BinLabel(size_t bin) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%.2f,%.2f)", BinLow(bin), BinHigh(bin));
+  return buf;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::At(double x) const {
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::Quantile(double q) const {
+  return PercentileSorted(sorted_, std::clamp(q, 0.0, 1.0) * 100.0);
+}
+
+std::string FormatCdfCurve(const EmpiricalCdf& cdf, int precision) {
+  std::string out;
+  char buf[64];
+  for (const double q : {0.10, 0.25, 0.50, 0.75, 0.90}) {
+    std::snprintf(buf, sizeof(buf), "%sp%.0f=%.*f", out.empty() ? "" : " ", q * 100.0,
+                  precision, cdf.Quantile(q));
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::Curve(size_t points) const {
+  std::vector<std::pair<double, double>> curve;
+  if (sorted_.empty() || points == 0) {
+    return curve;
+  }
+  curve.reserve(points);
+  for (size_t i = 0; i < points; ++i) {
+    const double q = points == 1 ? 1.0 : static_cast<double>(i) / static_cast<double>(points - 1);
+    curve.emplace_back(Quantile(q), q);
+  }
+  return curve;
+}
+
+}  // namespace ebs

@@ -1,0 +1,64 @@
+// Histogram and empirical CDF containers used by the per-figure analyses.
+
+#ifndef SRC_UTIL_HISTOGRAM_H_
+#define SRC_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ebs {
+
+// Fixed-bin histogram over [lo, hi); values outside are clamped into the
+// first/last bin so no sample is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double value);
+  void AddAll(std::span<const double> values);
+
+  size_t bin_count() const { return counts_.size(); }
+  uint64_t count(size_t bin) const { return counts_[bin]; }
+  uint64_t total() const { return total_; }
+  // Fraction of samples in `bin`; 0 if the histogram is empty.
+  double Fraction(size_t bin) const;
+  double BinLow(size_t bin) const;
+  double BinHigh(size_t bin) const;
+  // "[lo, hi)" label for table output.
+  std::string BinLabel(size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+// Empirical CDF over a sample set. Construction sorts the data once; queries
+// are O(log n).
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  // P(X <= x).
+  double At(double x) const;
+  // Inverse CDF / quantile for q in [0, 1].
+  double Quantile(double q) const;
+  size_t size() const { return sorted_.size(); }
+  // Evaluation points for rendering: `points` evenly spaced quantiles.
+  std::vector<std::pair<double, double>> Curve(size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+// Compact textual CDF rendering for the bench binaries:
+// "p10=0.12 p25=0.30 p50=0.55 p75=0.80 p90=0.95".
+std::string FormatCdfCurve(const EmpiricalCdf& cdf, int precision = 2);
+
+}  // namespace ebs
+
+#endif  // SRC_UTIL_HISTOGRAM_H_

@@ -1,0 +1,116 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+namespace ebs {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = SplitMix64(sm);
+  }
+}
+
+Rng Rng::Fork(uint64_t stream_index) const {
+  // Hash (seed, stream_index) into a fresh seed; the multiplier decorrelates
+  // adjacent stream indices.
+  uint64_t sm = seed_ ^ (stream_index * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL);
+  return Rng(SplitMix64(sm));
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Lemire's nearly-divisionless method.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  uint64_t lo = static_cast<uint64_t>(m);
+  if (lo < bound) {
+    const uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextUniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+double Rng::NextGaussian() {
+  double u;
+  double v;
+  double s;
+  do {
+    u = 2.0 * NextDouble() - 1.0;
+    v = 2.0 * NextDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+double Rng::NextExponential(double rate) {
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+uint64_t Rng::NextPoisson(double mean) {
+  if (mean <= 0.0) {
+    return 0;
+  }
+  if (mean < 30.0) {
+    const double limit = std::exp(-mean);
+    uint64_t k = 0;
+    double product = NextDouble();
+    while (product > limit) {
+      ++k;
+      product *= NextDouble();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction; adequate for the traffic
+  // intensities used by the workload generator.
+  const double sample = mean + std::sqrt(mean) * NextGaussian() + 0.5;
+  return sample <= 0.0 ? 0 : static_cast<uint64_t>(sample);
+}
+
+}  // namespace ebs

@@ -1,0 +1,182 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace ebs {
+
+double Sum(std::span<const double> values) {
+  return std::accumulate(values.begin(), values.end(), 0.0);
+}
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  return Sum(values) / static_cast<double>(values.size());
+}
+
+double Variance(std::span<const double> values) {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean(values);
+  double accum = 0.0;
+  for (const double v : values) {
+    const double d = v - mean;
+    accum += d * d;
+  }
+  return accum / static_cast<double>(values.size());
+}
+
+double StdDev(std::span<const double> values) { return std::sqrt(Variance(values)); }
+
+double CoefficientOfVariation(std::span<const double> values) {
+  const double mean = Mean(values);
+  if (mean == 0.0) {
+    return 0.0;
+  }
+  return StdDev(values) / mean;
+}
+
+double NormalizedCoV(std::span<const double> values) {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  const double cov = CoefficientOfVariation(values);
+  const double max_cov = std::sqrt(static_cast<double>(values.size()) - 1.0);
+  return std::min(1.0, cov / max_cov);
+}
+
+double PercentileSorted(std::span<const double> sorted, double pct) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double clamped = std::clamp(pct, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double Percentile(std::span<const double> values, double pct) {
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  return PercentileSorted(copy, pct);
+}
+
+double MeanSquaredError(std::span<const double> actual, std::span<const double> predicted) {
+  assert(actual.size() == predicted.size());
+  if (actual.empty()) {
+    return 0.0;
+  }
+  double accum = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    const double d = actual[i] - predicted[i];
+    accum += d * d;
+  }
+  return accum / static_cast<double>(actual.size());
+}
+
+double Ccr(std::span<const double> per_entity_traffic, double top_fraction) {
+  if (per_entity_traffic.empty()) {
+    return 0.0;
+  }
+  const double total = Sum(per_entity_traffic);
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  std::vector<double> sorted(per_entity_traffic.begin(), per_entity_traffic.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const size_t top_count = std::max<size_t>(
+      1, static_cast<size_t>(top_fraction * static_cast<double>(sorted.size())));
+  const double top_sum =
+      std::accumulate(sorted.begin(), sorted.begin() + static_cast<ptrdiff_t>(top_count), 0.0);
+  return top_sum / total;
+}
+
+double PeakToAverage(std::span<const double> series) {
+  if (series.empty()) {
+    return 0.0;
+  }
+  const double mean = Mean(series);
+  if (mean <= 0.0) {
+    return 0.0;
+  }
+  const double peak = *std::max_element(series.begin(), series.end());
+  return peak / mean;
+}
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+LinearFitResult FitLine(std::span<const double> values) {
+  LinearFitResult result;
+  const size_t n = values.size();
+  if (n == 0) {
+    return result;
+  }
+  if (n == 1) {
+    result.intercept = values[0];
+    return result;
+  }
+  const double mean_x = (static_cast<double>(n) - 1.0) / 2.0;
+  const double mean_y = Mean(values);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = static_cast<double>(i) - mean_x;
+    sxy += dx * (values[i] - mean_y);
+    sxx += dx * dx;
+  }
+  result.slope = sxx == 0.0 ? 0.0 : sxy / sxx;
+  result.intercept = mean_y - result.slope * mean_x;
+  return result;
+}
+
+}  // namespace ebs

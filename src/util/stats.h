@@ -1,0 +1,82 @@
+// Descriptive statistics and the paper's skewness metrics.
+//
+// The measurement study quantifies skew with three families of metrics:
+//   - spatial: Cumulative Contribution Rate (CCR) — traffic share of the top
+//     x% of entities at an aggregation level (§3.1);
+//   - temporal: Peak-to-Average ratio (P2A) — max/mean of an entity's traffic
+//     series (§3.1);
+//   - dispersion: normalized Coefficient of Variation (CoV) in (0, 1] — the
+//     classic CoV divided by its maximum sqrt(n-1), reached when all mass sits
+//     on a single entity (§4.1).
+
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ebs {
+
+double Sum(std::span<const double> values);
+double Mean(std::span<const double> values);
+
+// Population variance (divides by n).
+double Variance(std::span<const double> values);
+double StdDev(std::span<const double> values);
+
+// Plain coefficient of variation: stddev / mean. Returns 0 for empty input or
+// zero mean (an all-idle group is treated as perfectly balanced).
+double CoefficientOfVariation(std::span<const double> values);
+
+// CoV normalized into (0, 1] by sqrt(n-1); 0 for n < 2 or zero mean.
+double NormalizedCoV(std::span<const double> values);
+
+// Linear-interpolated percentile; `pct` in [0, 100]. Sorts a copy.
+double Percentile(std::span<const double> values, double pct);
+// Percentile over data the caller has already sorted ascending.
+double PercentileSorted(std::span<const double> sorted, double pct);
+
+// Mean squared error between two equal-length series.
+double MeanSquaredError(std::span<const double> actual, std::span<const double> predicted);
+
+// Cumulative Contribution Rate: share of total contributed by the top
+// `top_fraction` (e.g. 0.01 for "1%-CCR") of entities. At least one entity is
+// always counted. Returns a value in [0, 1].
+double Ccr(std::span<const double> per_entity_traffic, double top_fraction);
+
+// Peak-to-Average ratio of a traffic time series: max / mean. Returns 0 for
+// an all-zero or empty series.
+double PeakToAverage(std::span<const double> series);
+
+// Welford streaming accumulator for mean/variance without storing samples.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Simple ordinary least squares y = a + b*x over (0..n-1, values).
+struct LinearFitResult {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LinearFitResult FitLine(std::span<const double> values);
+
+}  // namespace ebs
+
+#endif  // SRC_UTIL_STATS_H_

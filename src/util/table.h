@@ -1,0 +1,43 @@
+// Fixed-width text table rendering for the benchmark harness. Every bench
+// binary prints its paper table/figure as rows through this printer so output
+// stays uniform and diffable.
+
+#ifndef SRC_UTIL_TABLE_H_
+#define SRC_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ebs {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Adds a row; short rows are padded with empty cells, long rows truncated.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with a header rule and column alignment.
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+  // Formatting helpers for cells.
+  static std::string Fmt(double value, int precision = 2);
+  static std::string FmtPercent(double fraction, int precision = 1);
+  // "read / write" pair cell, matching the paper's slash convention.
+  static std::string FmtPair(double read, double write, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a section banner ("== Table 3: ... ==") used by bench binaries.
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace ebs
+
+#endif  // SRC_UTIL_TABLE_H_

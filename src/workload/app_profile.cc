@@ -1,0 +1,149 @@
+#include "src/workload/app_profile.h"
+
+#include <array>
+#include <cmath>
+
+namespace ebs {
+
+namespace {
+
+// Builds the six profiles once. The volume parameters are solved from the
+// paper's Table 4 traffic shares and per-app skewness ordering:
+//   share(app) = vm_weight(app) * E[lognormal(mu, sigma)],
+// with E[.] = exp(mu + sigma^2/2), so mu = ln(mean) - sigma^2/2. Sigma is the
+// skewness dial: BigData lowest (1%-CCR ~= 10%), Docker/Database highest.
+std::array<AppProfile, kAppTypeCount> BuildProfiles() {
+  std::array<AppProfile, kAppTypeCount> profiles;
+
+  auto set_rates = [](AppProfile& p, double write_mean_mbps, double write_sigma,
+                      double read_mean_mbps, double read_sigma) {
+    p.write_rate_sigma = write_sigma;
+    p.write_rate_mu = std::log(write_mean_mbps) - 0.5 * write_sigma * write_sigma;
+    p.read_rate_sigma = read_sigma;
+    p.read_rate_mu = std::log(read_mean_mbps) - 0.5 * read_sigma * read_sigma;
+  };
+
+  {
+    AppProfile& p = profiles[static_cast<int>(AppType::kBigData)];
+    p.type = AppType::kBigData;
+    set_rates(p, 42.0, 0.9, 17.0, 1.2);
+    p.read_active_prob = 0.85;
+    p.write_active_prob = 0.95;
+    p.read_episodes_per_hour = 30.0;
+    p.read_episode_duration_s = 40.0;
+    p.write_noise_sigma = 0.35;
+    p.write_burst_start_prob = 0.006;
+    p.write_burst_shape = 1.6;
+    p.read_io_kib_median = 512.0;
+    p.write_io_kib_median = 256.0;
+    p.hot_prob_write_median = 0.22;
+    p.hot_prob_read_median = 0.08;
+    p.seq_write_prob = 0.80;
+    p.seq_read_prob = 0.60;
+    p.zipf_alpha = 1.02;
+    p.subsecond_cluster_prob = 0.50;
+  }
+  {
+    AppProfile& p = profiles[static_cast<int>(AppType::kWebApp)];
+    p.type = AppType::kWebApp;
+    set_rates(p, 3.0, 2.0, 0.40, 2.6);
+    p.read_active_prob = 0.35;
+    p.write_active_prob = 0.90;
+    p.read_episodes_per_hour = 48.0;
+    p.read_episode_duration_s = 10.0;
+    p.write_noise_sigma = 0.45;
+    p.read_io_kib_median = 16.0;
+    p.write_io_kib_median = 8.0;
+    p.hot_prob_write_median = 0.30;
+    p.hot_prob_read_median = 0.11;
+    p.seq_write_prob = 0.30;
+    p.seq_read_prob = 0.10;
+    p.zipf_alpha = 1.10;
+    p.subsecond_cluster_prob = 0.08;
+  }
+  {
+    AppProfile& p = profiles[static_cast<int>(AppType::kMiddleware)];
+    p.type = AppType::kMiddleware;
+    set_rates(p, 11.6, 1.4, 6.5, 2.2);
+    p.read_active_prob = 0.55;
+    p.write_active_prob = 0.95;
+    p.read_episodes_per_hour = 30.0;
+    p.read_episode_duration_s = 12.0;
+    p.write_noise_sigma = 0.40;
+    p.read_io_kib_median = 64.0;
+    p.write_io_kib_median = 64.0;
+    p.hot_prob_write_median = 0.26;
+    p.hot_prob_read_median = 0.09;
+    p.seq_write_prob = 0.70;
+    p.seq_read_prob = 0.30;
+    p.zipf_alpha = 1.05;
+    p.subsecond_cluster_prob = 0.15;
+  }
+  {
+    AppProfile& p = profiles[static_cast<int>(AppType::kFileSystem)];
+    p.type = AppType::kFileSystem;
+    set_rates(p, 1.0, 2.4, 2.3, 2.6);
+    p.read_active_prob = 0.45;
+    p.write_active_prob = 0.80;
+    p.read_episodes_per_hour = 8.0;
+    p.read_episode_duration_s = 45.0;
+    p.write_noise_sigma = 0.45;
+    p.read_io_kib_median = 128.0;
+    p.write_io_kib_median = 64.0;
+    p.hot_prob_write_median = 0.22;
+    p.hot_prob_read_median = 0.15;
+    p.seq_write_prob = 0.60;
+    p.seq_read_prob = 0.50;
+    p.zipf_alpha = 1.08;
+    p.subsecond_cluster_prob = 0.10;
+  }
+  {
+    AppProfile& p = profiles[static_cast<int>(AppType::kDatabase)];
+    p.type = AppType::kDatabase;
+    set_rates(p, 7.2, 1.7, 5.5, 2.4);
+    p.read_active_prob = 0.70;
+    p.write_active_prob = 0.98;
+    p.read_episodes_per_hour = 12.0;
+    p.read_episode_duration_s = 15.0;
+    p.write_noise_sigma = 0.50;
+    p.write_burst_start_prob = 0.010;
+    p.read_io_kib_median = 16.0;
+    p.read_io_kib_sigma = 0.4;
+    p.write_io_kib_median = 16.0;
+    p.write_io_kib_sigma = 0.4;
+    p.hot_prob_write_median = 0.30;
+    p.hot_prob_read_median = 0.11;
+    p.seq_write_prob = 0.50;
+    p.seq_read_prob = 0.20;
+    p.zipf_alpha = 1.15;
+    p.subsecond_cluster_prob = 0.35;
+  }
+  {
+    AppProfile& p = profiles[static_cast<int>(AppType::kDocker)];
+    p.type = AppType::kDocker;
+    set_rates(p, 11.6, 1.9, 6.4, 2.2);
+    p.read_active_prob = 0.60;
+    p.write_active_prob = 0.90;
+    p.read_episodes_per_hour = 20.0;
+    p.read_episode_duration_s = 12.0;
+    p.write_noise_sigma = 0.50;
+    p.read_io_kib_median = 32.0;
+    p.write_io_kib_median = 32.0;
+    p.hot_prob_write_median = 0.26;
+    p.hot_prob_read_median = 0.09;
+    p.seq_write_prob = 0.40;
+    p.seq_read_prob = 0.20;
+    p.zipf_alpha = 1.10;
+    p.subsecond_cluster_prob = 0.20;
+  }
+  return profiles;
+}
+
+}  // namespace
+
+const AppProfile& GetAppProfile(AppType type) {
+  static const std::array<AppProfile, kAppTypeCount> kProfiles = BuildProfiles();
+  return kProfiles[static_cast<int>(type)];
+}
+
+}  // namespace ebs

@@ -1,0 +1,70 @@
+// Per-application workload profiles (Table 4 / Table 5 / Appendix D).
+//
+// The paper classifies VMs into six application families with very different
+// traffic volume, skewness and access patterns: BigData carries the largest
+// share with the least skew; Docker/Database exhibit the strongest skew;
+// FileSystem is tiny but extremely read-skewed; WebApp is low-volume. Each
+// profile parameterises the temporal process (episodic reads, steady-plus-
+// burst writes), the IO size mix and the spatial locality used by the fleet
+// synthesizer. Values are chosen so the paper's Table 3/4 shapes emerge.
+
+#ifndef SRC_WORKLOAD_APP_PROFILE_H_
+#define SRC_WORKLOAD_APP_PROFILE_H_
+
+#include "src/topology/entities.h"
+
+namespace ebs {
+
+struct AppProfile {
+  AppType type = AppType::kWebApp;
+
+  // Per-VM mean rates in MB/s over the window (lognormal). The sigma controls
+  // the app's spatial skewness (1%-CCR in Table 4).
+  double write_rate_mu = 0.0;
+  double write_rate_sigma = 1.0;
+  double read_rate_mu = 0.0;
+  double read_rate_sigma = 1.0;
+  // Fraction of this app's VMs that produce any read / write traffic at all.
+  double read_active_prob = 0.5;
+  double write_active_prob = 0.9;
+
+  // Episodic read process: expected number of read episodes per hour and
+  // their mean duration. All read volume is squeezed into the episodes,
+  // which is what drives the extreme read P2A of §3.2.
+  double read_episodes_per_hour = 4.0;
+  double read_episode_duration_s = 30.0;
+
+  // Steady write process: multiplicative AR(1) lognormal noise plus
+  // Pareto-magnitude burst episodes.
+  double write_noise_sigma = 0.4;
+  double write_burst_start_prob = 0.008;  // per second
+  double write_burst_duration_s = 5.0;
+  double write_burst_shape = 1.2;  // Pareto shape of the burst multiplier
+
+  // IO sizes in KiB (lognormal around the median; clamped to [4K, 4M]).
+  double read_io_kib_median = 64.0;
+  double read_io_kib_sigma = 0.6;
+  double write_io_kib_median = 32.0;
+  double write_io_kib_sigma = 0.6;
+
+  // Spatial locality.
+  double hot_prob_write_median = 0.35;  // P(write lands in the hot block)
+  double hot_prob_read_median = 0.12;
+  double seq_write_prob = 0.5;  // P(write is a sequential append)
+  double seq_read_prob = 0.3;   // P(read belongs to a sequential scan)
+  // P(an append instead rewrites the stream header in place) — commit blocks
+  // and superblock updates, a tiny intensely-reused footprint.
+  double seq_header_rewrite_prob = 0.25;
+  double zipf_alpha = 1.05;     // popularity of the non-hot address space
+
+  // Sub-second burstiness: probability that a VM clusters its IOs inside a
+  // ~10 ms spike each second (drives Fig 2(e)/(f) node-b behaviour).
+  double subsecond_cluster_prob = 0.2;
+};
+
+// Immutable profile for an application family.
+const AppProfile& GetAppProfile(AppType type);
+
+}  // namespace ebs
+
+#endif  // SRC_WORKLOAD_APP_PROFILE_H_

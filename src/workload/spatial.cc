@@ -1,0 +1,279 @@
+#include "src/workload/spatial.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace ebs {
+
+namespace {
+
+constexpr uint64_t kChunkBytes = 1ULL * kMiB;
+constexpr uint64_t kChunksPerSegment = kSegmentBytes / kChunkBytes;
+constexpr uint64_t kPagesPerChunk = kChunkBytes / kPageBytes;
+
+// Above this window volume, the hot-block probability is damped: a whale
+// cannot physically focus hundreds of MB/s on one small block.
+constexpr double kHotDampBytes = 20e9;
+
+// Deterministic scatter of zipf ranks over a segment's chunks, so popular
+// chunks are not clustered at low addresses.
+uint64_t ScatterChunk(uint64_t rank, uint64_t salt, uint32_t segment_index) {
+  const uint64_t mixed =
+      rank * 0x9e3779b97f4a7c15ULL + salt + static_cast<uint64_t>(segment_index) * 0x85ebca6bULL;
+  return mixed % kChunksPerSegment;
+}
+
+double ClampProb(double p) { return std::clamp(p, 0.02, 0.85); }
+
+double DampForVolume(double prob, double volume_bytes) {
+  if (volume_bytes <= kHotDampBytes) {
+    return prob;
+  }
+  return prob * std::sqrt(kHotDampBytes / volume_bytes);
+}
+
+}  // namespace
+
+VdSpatialModel::VdSpatialModel(const Vd& vd, const AppProfile& profile,
+                               double window_read_bytes, double window_write_bytes, Rng& rng)
+    : chunk_zipf_(kChunksPerSegment, profile.zipf_alpha) {
+  hot_page_salt_ = rng.NextU64();
+  capacity_ = vd.capacity_bytes;
+  segment_count_ = static_cast<uint32_t>(vd.segments.size());
+  assert(segment_count_ > 0);
+  chunk_salt_ = rng.NextU64();
+
+  // --- Hot block ------------------------------------------------------------
+  // Sizes 16 MiB .. 1 GiB, biased small (the paper's hottest-block analysis
+  // spans 64 MiB .. 2048 MiB granularities).
+  const int size_exp = static_cast<int>(rng.NextInt(4, 10));  // 2^4..2^10 MiB
+  hot_bytes_ = (1ULL << size_exp) * kMiB;
+  const uint32_t hot_segment = static_cast<uint32_t>(rng.NextBounded(segment_count_));
+  const uint64_t max_start = kSegmentBytes - hot_bytes_;
+  const uint64_t start_in_segment =
+      (rng.NextBounded(max_start / kPageBytes + 1)) * kPageBytes;
+  hot_offset_ = static_cast<uint64_t>(hot_segment) * kSegmentBytes + start_in_segment;
+
+  hot_prob_read_ =
+      profile.hot_prob_read_median <= 0.0
+          ? 0.0
+          : DampForVolume(ClampProb(profile.hot_prob_read_median *
+                                    std::exp(0.6 * rng.NextGaussian())),
+                          window_read_bytes);
+  hot_prob_write_ =
+      profile.hot_prob_write_median <= 0.0
+          ? 0.0
+          : DampForVolume(ClampProb(profile.hot_prob_write_median *
+                                    std::exp(0.5 * rng.NextGaussian())),
+                          window_write_bytes);
+
+  // --- Sequential write span -------------------------------------------------
+  // The span covers roughly the volume the appender will write, so heavy VDs
+  // stripe across many segments.
+  seq_prob_ = profile.seq_write_prob;
+  seq_header_prob_ = profile.seq_header_rewrite_prob;
+  const double seq_volume = window_write_bytes * seq_prob_;
+  // Log rotation / compaction: the append stream makes `cycles` passes over
+  // its span, so a cache that holds the span sees overwrite reuse.
+  const double cycles = 1.0 + std::min(5.0, rng.NextExponential(1.0));
+  const double span_target = std::clamp(seq_volume / cycles, 64.0 * kMiB,
+                                        static_cast<double>(capacity_));
+  seq_span_segments_ = static_cast<uint32_t>(std::clamp<double>(
+      std::ceil(span_target / static_cast<double>(kSegmentBytes)), 1.0,
+      static_cast<double>(segment_count_)));
+  // Keep the append stream off the hot segment so their mass does not stack
+  // on a single 32 GiB segment (and Fig 5(b)'s read-xor-write dominance can
+  // emerge).
+  seq_first_segment_ = static_cast<uint32_t>(rng.NextBounded(segment_count_));
+  if (segment_count_ > seq_span_segments_ && seq_first_segment_ == hot_segment) {
+    seq_first_segment_ = (seq_first_segment_ + 1) % segment_count_;
+  }
+  seq_span_bytes_ =
+      seq_span_segments_ > 1
+          ? static_cast<uint64_t>(seq_span_segments_) * kSegmentBytes
+          : std::max<uint64_t>(kPageBytes,
+                               (static_cast<uint64_t>(span_target) / kPageBytes) * kPageBytes);
+  seq_cursor_ = rng.NextBounded(seq_span_bytes_ / kPageBytes) * kPageBytes;
+  seq_advance_bytes_ =
+      std::max<uint64_t>(kPageBytes,
+                         static_cast<uint64_t>(profile.write_io_kib_median) * kKiB);
+
+  // --- Sequential read scan ---------------------------------------------------
+  // Scans sweep forward over roughly the volume they read; one pass, large
+  // IOs — the access pattern the production prefetcher (§2.2) targets.
+  scan_prob_ = profile.seq_read_prob;
+  const double scan_volume = window_read_bytes * scan_prob_;
+  const double scan_target = std::clamp(scan_volume, 64.0 * kMiB,
+                                        static_cast<double>(capacity_));
+  scan_span_segments_ = static_cast<uint32_t>(std::clamp<double>(
+      std::ceil(scan_target / static_cast<double>(kSegmentBytes)), 1.0,
+      static_cast<double>(segment_count_)));
+  scan_first_segment_ = static_cast<uint32_t>(rng.NextBounded(segment_count_));
+  scan_span_bytes_ =
+      scan_span_segments_ > 1
+          ? static_cast<uint64_t>(scan_span_segments_) * kSegmentBytes
+          : std::max<uint64_t>(kPageBytes,
+                               (static_cast<uint64_t>(scan_target) / kPageBytes) * kPageBytes);
+  scan_cursor_ = 0;
+  scan_advance_bytes_ =
+      std::max<uint64_t>(kPageBytes,
+                         static_cast<uint64_t>(profile.read_io_kib_median) * kKiB);
+
+  // --- Popular (zipf) segment tail -------------------------------------------
+  // Read and write popularity live on (mostly) disjoint segment sets: cold
+  // data is scanned, fresh data is written, so a segment tends to be read- or
+  // write-dominant (§6.2.2).
+  const uint32_t tail_size = std::min<uint32_t>(segment_count_, 16);
+  auto pick_tail = [&] {
+    std::vector<uint32_t> ids(segment_count_);
+    std::iota(ids.begin(), ids.end(), 0);
+    for (uint32_t i = 0; i < tail_size; ++i) {
+      const uint32_t j = i + static_cast<uint32_t>(rng.NextBounded(segment_count_ - i));
+      std::swap(ids[i], ids[j]);
+    }
+    ids.resize(tail_size);
+    return ids;
+  };
+  read_tail_ids_ = pick_tail();
+  write_tail_ids_ = pick_tail();
+
+  std::vector<double> tail_pmf(tail_size);
+  double pmf_total = 0.0;
+  for (uint32_t i = 0; i < tail_size; ++i) {
+    tail_pmf[i] = 1.0 / std::pow(static_cast<double>(i) + 1.0, profile.zipf_alpha);
+    pmf_total += tail_pmf[i];
+  }
+  for (double& w : tail_pmf) {
+    w /= pmf_total;
+  }
+
+  // --- Compose per-op segment weights ----------------------------------------
+  auto compose = [&](OpType op) {
+    std::vector<double> weights(segment_count_, 0.0);
+    const double hot_p = hot_prob(op);
+    weights[hot_segment] += hot_p;
+    double tail_mass = 1.0 - hot_p;
+    if (op == OpType::kWrite) {
+      const double seq_mass = tail_mass * seq_prob_;
+      for (uint32_t i = 0; i < seq_span_segments_; ++i) {
+        weights[(seq_first_segment_ + i) % segment_count_] +=
+            seq_mass / static_cast<double>(seq_span_segments_);
+      }
+      tail_mass -= seq_mass;
+    } else {
+      const double scan_mass = tail_mass * scan_prob_;
+      for (uint32_t i = 0; i < scan_span_segments_; ++i) {
+        weights[(scan_first_segment_ + i) % segment_count_] +=
+            scan_mass / static_cast<double>(scan_span_segments_);
+      }
+      tail_mass -= scan_mass;
+    }
+    const auto& tail_ids = op == OpType::kRead ? read_tail_ids_ : write_tail_ids_;
+    for (uint32_t i = 0; i < tail_size; ++i) {
+      weights[tail_ids[i]] += tail_mass * tail_pmf[i];
+    }
+    std::vector<std::pair<uint32_t, double>> sparse;
+    for (uint32_t s = 0; s < segment_count_; ++s) {
+      if (weights[s] > 0.0) {
+        sparse.emplace_back(s, weights[s]);
+      }
+    }
+    return sparse;
+  };
+  read_segments_ = compose(OpType::kRead);
+  write_segments_ = compose(OpType::kWrite);
+
+  // Cumulative tail weights for offset sampling.
+  read_tail_weights_ = tail_pmf;
+  write_tail_weights_ = tail_pmf;
+  for (uint32_t i = 1; i < tail_size; ++i) {
+    read_tail_weights_[i] += read_tail_weights_[i - 1];
+    write_tail_weights_[i] += write_tail_weights_[i - 1];
+  }
+}
+
+namespace {
+
+// Smallest power of two >= x, in [4 KiB, cap].
+uint64_t RoundIoSlot(uint32_t io_size_bytes, uint64_t cap) {
+  uint64_t slot = kPageBytes;
+  while (slot < io_size_bytes && slot < cap) {
+    slot <<= 1;
+  }
+  return std::min(slot, cap);
+}
+
+}  // namespace
+
+uint64_t VdSpatialModel::SampleOffset(OpType op, uint32_t io_size_bytes, Rng& rng) {
+  const double u = rng.NextDouble();
+  const double hot_p = hot_prob(op);
+  if (u < hot_p) {
+    // Zipf-popular, IO-size-aligned slots inside the hot region (scattered so
+    // popularity is not address-correlated). Re-touching a popular slot
+    // overlaps the whole previous IO — the reuse that feeds FIFO/LRU hits.
+    const uint64_t slot_bytes = RoundIoSlot(io_size_bytes, hot_bytes_);
+    const uint64_t slots = std::max<uint64_t>(1, hot_bytes_ / slot_bytes);
+    const ZipfDistribution slot_zipf(slots, 1.2);
+    const uint64_t rank = slot_zipf.Sample(rng);
+    const uint64_t slot = (rank * 0x9e3779b97f4a7c15ULL + hot_page_salt_) % slots;
+    return hot_offset_ + slot * slot_bytes;
+  }
+  if (op == OpType::kRead && u < hot_p + (1.0 - hot_p) * scan_prob_) {
+    const uint64_t segment_in_span = scan_cursor_ / kSegmentBytes;
+    const uint64_t within = scan_cursor_ % kSegmentBytes;
+    const uint32_t segment =
+        (scan_first_segment_ + static_cast<uint32_t>(segment_in_span)) % segment_count_;
+    const uint64_t offset = static_cast<uint64_t>(segment) * kSegmentBytes + within;
+    scan_cursor_ += scan_advance_bytes_;
+    if (scan_cursor_ >= scan_span_bytes_) {
+      scan_cursor_ = 0;
+    }
+    return offset;
+  }
+  if (op == OpType::kWrite && u < hot_p + (1.0 - hot_p) * seq_prob_) {
+    // Journal-style stream: some appends rewrite the stream header in place
+    // (commit blocks / superblock updates) — a tiny, intensely reused
+    // footprint.
+    if (rng.NextBool(seq_header_prob_)) {
+      return static_cast<uint64_t>(seq_first_segment_) * kSegmentBytes;
+    }
+    // Map the span-relative cursor through the (possibly wrapping) segment
+    // range.
+    const uint64_t segment_in_span = seq_cursor_ / kSegmentBytes;
+    const uint64_t within = seq_cursor_ % kSegmentBytes;
+    const uint32_t segment =
+        (seq_first_segment_ + static_cast<uint32_t>(segment_in_span)) % segment_count_;
+    const uint64_t offset = static_cast<uint64_t>(segment) * kSegmentBytes + within;
+    seq_cursor_ += seq_advance_bytes_;
+    if (seq_cursor_ >= seq_span_bytes_) {
+      seq_cursor_ = 0;
+    }
+    return offset;
+  }
+  return SampleZipfOffset(op, io_size_bytes, rng);
+}
+
+uint64_t VdSpatialModel::SampleZipfOffset(OpType op, uint32_t io_size_bytes,
+                                          Rng& rng) const {
+  const auto& cumulative = op == OpType::kRead ? read_tail_weights_ : write_tail_weights_;
+  const double u = rng.NextDouble();
+  size_t idx = 0;
+  while (idx + 1 < cumulative.size() && u > cumulative[idx]) {
+    ++idx;
+  }
+  const uint32_t segment_index =
+      (op == OpType::kRead ? read_tail_ids_ : write_tail_ids_)[idx];
+  const uint64_t rank = chunk_zipf_.Sample(rng);
+  const uint64_t chunk = ScatterChunk(rank, chunk_salt_, segment_index);
+  // IO-size-aligned position within the chunk so repeated draws of a popular
+  // chunk overlap.
+  const uint64_t slot_bytes = RoundIoSlot(io_size_bytes, kChunkBytes);
+  const uint64_t slot = rng.NextBounded(std::max<uint64_t>(1, kChunkBytes / slot_bytes));
+  return static_cast<uint64_t>(segment_index) * kSegmentBytes + chunk * kChunkBytes +
+         slot * slot_bytes;
+}
+
+}  // namespace ebs

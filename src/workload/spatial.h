@@ -1,0 +1,102 @@
+// Per-VD spatial (LBA) access model.
+//
+// §7 of the paper shows each VD concentrates IO on a small hot block (median
+// 64 MiB hottest block drawing ~18% of accesses, mostly writes), alongside
+// sequential write streams and a Zipf-popular tail. The model is segment-
+// aware: it exposes exact per-segment weights so the storage-domain metric
+// dataset and the sampled trace offsets are drawn from the same distribution.
+//
+// Volume awareness: a sequential writer covers roughly its written volume in
+// address space, so heavy VDs stripe their append stream across many 32 GiB
+// segments; and the hot-block probability is damped for very heavy VDs (a
+// whale cannot physically focus hundreds of MB/s on one small block — it is
+// the *typical* VD whose hottest 64 MiB block draws ~18% of IOs).
+
+#ifndef SRC_WORKLOAD_SPATIAL_H_
+#define SRC_WORKLOAD_SPATIAL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/topology/entities.h"
+#include "src/topology/latency.h"
+#include "src/util/distributions.h"
+#include "src/util/rng.h"
+#include "src/workload/app_profile.h"
+
+namespace ebs {
+
+class VdSpatialModel {
+ public:
+  // Builds the model for one VD; draws per-VD randomness (hot region location
+  // and size, access probabilities, popular segment set) from `rng`.
+  // `window_read_bytes` / `window_write_bytes` are the VD's expected volumes
+  // over the observation window and drive the volume-aware spreading.
+  VdSpatialModel(const Vd& vd, const AppProfile& profile, double window_read_bytes,
+                 double window_write_bytes, Rng& rng);
+
+  // Sparse per-op weights over the VD's segments: (index_in_vd, weight),
+  // weights summing to 1. Only segments with non-zero weight appear.
+  const std::vector<std::pair<uint32_t, double>>& ActiveSegments(OpType op) const {
+    return op == OpType::kRead ? read_segments_ : write_segments_;
+  }
+
+  // Draws a byte offset for one IO of `io_size_bytes`; sequential writes
+  // advance an internal cursor. Hot-region offsets are IO-size-aligned zipf
+  // slots, so re-touches overlap whole IOs (a DB page rewritten in place) and
+  // eviction-based caches see real reuse.
+  uint64_t SampleOffset(OpType op, uint32_t io_size_bytes, Rng& rng);
+
+  // Ground truth for tests and the cache analyses.
+  uint64_t hot_offset() const { return hot_offset_; }
+  uint64_t hot_bytes() const { return hot_bytes_; }
+  double hot_prob(OpType op) const {
+    return op == OpType::kRead ? hot_prob_read_ : hot_prob_write_;
+  }
+  double seq_prob() const { return seq_prob_; }
+  uint32_t seq_span_segments() const { return seq_span_segments_; }
+
+ private:
+  uint64_t SampleZipfOffset(OpType op, uint32_t io_size_bytes, Rng& rng) const;
+
+  uint64_t capacity_ = 0;
+  uint32_t segment_count_ = 0;
+
+  uint64_t hot_offset_ = 0;
+  uint64_t hot_bytes_ = 0;
+  double hot_prob_read_ = 0.0;
+  double hot_prob_write_ = 0.0;
+
+  double seq_prob_ = 0.0;
+  double seq_header_prob_ = 0.25;
+  // Sequential read scan: a single forward pass over its own span.
+  double scan_prob_ = 0.0;
+  uint32_t scan_first_segment_ = 0;
+  uint32_t scan_span_segments_ = 1;
+  uint64_t scan_span_bytes_ = 0;
+  uint64_t scan_cursor_ = 0;
+  uint64_t scan_advance_bytes_ = 0;
+  uint32_t seq_first_segment_ = 0;   // span covers consecutive segments
+  uint32_t seq_span_segments_ = 1;   // (wrapping modulo segment_count_)
+  uint64_t seq_cursor_ = 0;          // byte offset within the span
+  uint64_t seq_span_bytes_ = 0;
+  uint64_t seq_advance_bytes_ = 0;
+  uint64_t hot_page_salt_ = 0;       // scatters zipf ranks over hot-region pages
+
+  // Popular segment tail (excluding hot/seq mass), per op.
+  std::vector<std::pair<uint32_t, double>> read_segments_;
+  std::vector<std::pair<uint32_t, double>> write_segments_;
+  // Samplers over the zipf tail per op (aligned with the tail entries below).
+  std::vector<uint32_t> read_tail_ids_;
+  std::vector<uint32_t> write_tail_ids_;
+  std::vector<double> read_tail_weights_;
+  std::vector<double> write_tail_weights_;
+
+  ZipfDistribution chunk_zipf_;
+  uint64_t chunk_salt_ = 0;
+};
+
+}  // namespace ebs
+
+#endif  // SRC_WORKLOAD_SPATIAL_H_

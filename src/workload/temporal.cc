@@ -1,0 +1,126 @@
+#include "src/workload/temporal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/distributions.h"
+
+namespace ebs {
+
+RateProcessGenerator::RateProcessGenerator(TemporalConfig config) : config_(config) {}
+
+TimeSeries RateProcessGenerator::Generate(OpType op, double mean_rate_bps,
+                                          double peak_ceiling_bps, const AppProfile& profile,
+                                          Rng& rng) const {
+  if (mean_rate_bps <= 0.0) {
+    return TimeSeries(config_.window_steps, config_.step_seconds);
+  }
+  if (op == OpType::kRead) {
+    return GenerateEpisodicRead(mean_rate_bps, peak_ceiling_bps, profile, rng);
+  }
+  return GenerateSteadyWrite(mean_rate_bps, profile, rng);
+}
+
+TimeSeries RateProcessGenerator::GenerateEpisodicRead(double mean_rate_bps,
+                                                      double peak_ceiling_bps,
+                                                      const AppProfile& profile,
+                                                      Rng& rng) const {
+  const size_t n = config_.window_steps;
+  TimeSeries series(n, config_.step_seconds);
+  const double window_hours = static_cast<double>(n) * config_.step_seconds / 3600.0;
+  const double volume = mean_rate_bps * static_cast<double>(n) * config_.step_seconds;
+
+  // Applications scan at a large fraction of the device bandwidth; the total
+  // ON-time follows from the volume. Small readers therefore become extremely
+  // spiky (few seconds of activity in the whole window).
+  const double peak_bps = peak_ceiling_bps > 0.0
+                              ? peak_ceiling_bps * rng.NextUniform(0.3, 0.8)
+                              : mean_rate_bps * 20.0;
+  const size_t on_steps = static_cast<size_t>(std::clamp(
+      std::ceil(volume / (peak_bps * config_.step_seconds)), std::min(3.0, static_cast<double>(n)),
+      static_cast<double>(n)));
+
+  uint64_t episodes =
+      std::max<uint64_t>(1, rng.NextPoisson(profile.read_episodes_per_hour * window_hours));
+  episodes = std::min<uint64_t>(episodes, on_steps);
+
+  // Split the ON-time across episodes with exponential proportions.
+  std::vector<double> cuts(episodes);
+  double cut_total = 0.0;
+  for (double& c : cuts) {
+    c = rng.NextExponential(1.0);
+    cut_total += c;
+  }
+  size_t assigned = 0;
+  for (uint64_t e = 0; e < episodes; ++e) {
+    size_t steps = e + 1 == episodes
+                       ? on_steps - assigned
+                       : std::max<size_t>(1, static_cast<size_t>(cuts[e] / cut_total *
+                                                                 static_cast<double>(on_steps)));
+    steps = std::min(steps, on_steps - assigned);
+    if (steps == 0) {
+      continue;
+    }
+    assigned += steps;
+    const size_t start = static_cast<size_t>(rng.NextBounded(n - std::min(n - 1, steps)));
+    for (size_t i = start; i < std::min(n, start + steps); ++i) {
+      series[i] += std::exp(0.35 * rng.NextGaussian());
+    }
+  }
+
+  const double mean = series.MeanAll();
+  if (mean > 0.0) {
+    series.Scale(mean_rate_bps / mean);
+  }
+  return series;
+}
+
+TimeSeries RateProcessGenerator::GenerateSteadyWrite(double mean_rate_bps,
+                                                     const AppProfile& profile,
+                                                     Rng& rng) const {
+  const size_t n = config_.window_steps;
+  TimeSeries series(n, config_.step_seconds);
+
+  // AR(1) log-domain noise: x_t = rho * x_{t-1} + eps, giving a correlated
+  // multiplicative baseline.
+  const double rho = 0.92;
+  const double eps_sigma = profile.write_noise_sigma * std::sqrt(1.0 - rho * rho);
+  double log_noise = profile.write_noise_sigma * rng.NextGaussian();
+
+  // Slow regime drift (time constant ~200 s): job phases come and go, so the
+  // traffic level is non-stationary across balancer epochs. This is what
+  // makes per-epoch-trained predictors go stale (§6.1.3).
+  const double rho_slow = 0.995;
+  const double slow_sigma = 0.6;
+  const double slow_eps = slow_sigma * std::sqrt(1.0 - rho_slow * rho_slow);
+  double slow_drift = slow_sigma * rng.NextGaussian();
+
+  // Burst state machine.
+  size_t burst_remaining = 0;
+  double burst_multiplier = 1.0;
+  const ParetoDistribution burst_mag(1.5, profile.write_burst_shape);
+
+  for (size_t i = 0; i < n; ++i) {
+    log_noise = rho * log_noise + eps_sigma * rng.NextGaussian();
+    slow_drift = rho_slow * slow_drift + slow_eps * rng.NextGaussian();
+    if (burst_remaining == 0 && rng.NextBool(profile.write_burst_start_prob)) {
+      burst_remaining = 1 + static_cast<size_t>(
+          rng.NextExponential(1.0 / profile.write_burst_duration_s) / config_.step_seconds);
+      burst_multiplier = std::min(100.0, burst_mag.Sample(rng));
+    }
+    double level = std::exp(log_noise + slow_drift);
+    if (burst_remaining > 0) {
+      level *= burst_multiplier;
+      --burst_remaining;
+    }
+    series[i] = level;
+  }
+
+  const double mean = series.MeanAll();
+  if (mean > 0.0) {
+    series.Scale(mean_rate_bps / mean);
+  }
+  return series;
+}
+
+}  // namespace ebs

@@ -1,0 +1,50 @@
+// Per-VD temporal traffic processes.
+//
+// Reads are *episodic*: the full read volume is concentrated into a handful
+// of Pareto/exponential episodes, which is what produces read P2A values that
+// dwarf the write P2A (§3.2, Observation 2). Writes are *steady with bursts*:
+// an AR(1) multiplicative lognormal baseline punctuated by Pareto-magnitude
+// burst episodes (log flushes, compactions, checkpoints).
+
+#ifndef SRC_WORKLOAD_TEMPORAL_H_
+#define SRC_WORKLOAD_TEMPORAL_H_
+
+#include "src/topology/latency.h"
+#include "src/util/rng.h"
+#include "src/util/time_series.h"
+#include "src/workload/app_profile.h"
+
+namespace ebs {
+
+struct TemporalConfig {
+  size_t window_steps = 900;
+  double step_seconds = 1.0;
+};
+
+// Generates one VD's bytes-per-step rate series for one op. `mean_rate_bps`
+// is the target window-average in bytes/s; the process reshapes it in time
+// but preserves the total volume. `peak_ceiling_bps` bounds the
+// instantaneous rate for reads — applications read at device speed, so read
+// episodes run near the VD's bandwidth cap and the episode *duration* absorbs
+// the volume (this is what concentrates reads and inflates their P2A).
+class RateProcessGenerator {
+ public:
+  explicit RateProcessGenerator(TemporalConfig config);
+
+  TimeSeries Generate(OpType op, double mean_rate_bps, double peak_ceiling_bps,
+                      const AppProfile& profile, Rng& rng) const;
+
+  const TemporalConfig& config() const { return config_; }
+
+ private:
+  TimeSeries GenerateEpisodicRead(double mean_rate_bps, double peak_ceiling_bps,
+                                  const AppProfile& profile, Rng& rng) const;
+  TimeSeries GenerateSteadyWrite(double mean_rate_bps, const AppProfile& profile,
+                                 Rng& rng) const;
+
+  TemporalConfig config_;
+};
+
+}  // namespace ebs
+
+#endif  // SRC_WORKLOAD_TEMPORAL_H_

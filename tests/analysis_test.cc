@@ -1,0 +1,99 @@
+// Tests for the skewness measurement pipelines.
+
+#include "src/analysis/skewness.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_helpers.h"
+
+namespace ebs {
+namespace {
+
+std::vector<RwSeries> MakeEntities(size_t count, size_t steps) {
+  return std::vector<RwSeries>(count, RwSeries(steps, 1.0));
+}
+
+TEST(SkewnessTest, EntityTotals) {
+  auto entities = MakeEntities(2, 3);
+  entities[0].read_bytes[0] = 1.0;
+  entities[0].read_bytes[2] = 2.0;
+  entities[1].write_bytes[1] = 5.0;
+  const auto reads = EntityTotals(entities, OpType::kRead);
+  EXPECT_DOUBLE_EQ(reads[0], 3.0);
+  EXPECT_DOUBLE_EQ(reads[1], 0.0);
+  const auto writes = EntityTotals(entities, OpType::kWrite);
+  EXPECT_DOUBLE_EQ(writes[1], 5.0);
+}
+
+TEST(SkewnessTest, EntityP2aSkipsIdleEntities) {
+  auto entities = MakeEntities(3, 4);
+  entities[0].read_bytes[1] = 8.0;  // P2A = 8 / 2 = 4
+  const auto p2a = EntityP2a(entities, OpType::kRead);
+  ASSERT_EQ(p2a.size(), 1u);
+  EXPECT_DOUBLE_EQ(p2a[0], 4.0);
+}
+
+TEST(SkewnessTest, LevelSkewnessOnKnownDistribution) {
+  auto entities = MakeEntities(100, 2);
+  // One whale and 99 minnows.
+  entities[0].write_bytes[0] = 99.0;
+  for (size_t i = 1; i < 100; ++i) {
+    entities[i].write_bytes[0] = 1.0;
+  }
+  const LevelSkewness skew = ComputeLevelSkewness(entities);
+  EXPECT_NEAR(skew.ccr1[1], 0.5, 1e-9);   // 99 of 198
+  EXPECT_DOUBLE_EQ(skew.ccr1[0], 0.0);    // no read traffic at all
+  EXPECT_DOUBLE_EQ(skew.p2a50[1], 2.0);   // all active in 1 of 2 steps
+}
+
+TEST(SkewnessTest, WindowNormalizedCov) {
+  auto entities = MakeEntities(2, 4);
+  entities[0].write_bytes[0] = 10.0;
+  entities[1].write_bytes[0] = 10.0;
+  entities[0].write_bytes[3] = 100.0;
+  // First window [0,2): balanced; window [2,4): one-sided.
+  EXPECT_NEAR(WindowNormalizedCoV(entities, OpType::kWrite, 0, 2), 0.0, 1e-12);
+  EXPECT_NEAR(WindowNormalizedCoV(entities, OpType::kWrite, 2, 4), 1.0, 1e-12);
+}
+
+TEST(SkewnessTest, WriteToReadRatio) {
+  EXPECT_DOUBLE_EQ(WriteToReadRatio(3.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(WriteToReadRatio(1.0, 3.0), -0.5);
+  EXPECT_DOUBLE_EQ(WriteToReadRatio(5.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(WriteToReadRatio(0.0, 5.0), -1.0);
+  EXPECT_DOUBLE_EQ(WriteToReadRatio(0.0, 0.0), 0.0);
+}
+
+TEST(SkewnessTest, AppSkewnessSharesSumToOne) {
+  const Fleet fleet = MakeTinyFleet({{{1}}, {{1}}, {{1}}});
+  auto vm_series = MakeEntities(fleet.vms.size(), 2);
+  vm_series[0].write_bytes[0] = 10.0;
+  vm_series[1].write_bytes[0] = 30.0;
+  vm_series[2].read_bytes[0] = 5.0;
+  const auto rows = ComputeAppSkewness(fleet, vm_series);
+  ASSERT_EQ(rows.size(), static_cast<size_t>(kAppTypeCount));
+  double read_share = 0.0;
+  double write_share = 0.0;
+  for (const AppSkewness& row : rows) {
+    read_share += row.traffic_share[0];
+    write_share += row.traffic_share[1];
+  }
+  EXPECT_NEAR(read_share, 1.0, 1e-9);
+  EXPECT_NEAR(write_share, 1.0, 1e-9);
+}
+
+TEST(SkewnessTest, AppSkewnessGroupsByAppType) {
+  Fleet fleet = MakeTinyFleet({{{1}}, {{1}}});
+  fleet.vms[0].app = AppType::kBigData;
+  fleet.vms[1].app = AppType::kDocker;
+  auto vm_series = MakeEntities(fleet.vms.size(), 1);
+  vm_series[0].write_bytes[0] = 10.0;
+  vm_series[1].write_bytes[0] = 30.0;
+  const auto rows = ComputeAppSkewness(fleet, vm_series);
+  EXPECT_NEAR(rows[static_cast<int>(AppType::kBigData)].traffic_share[1], 0.25, 1e-9);
+  EXPECT_NEAR(rows[static_cast<int>(AppType::kDocker)].traffic_share[1], 0.75, 1e-9);
+  EXPECT_DOUBLE_EQ(rows[static_cast<int>(AppType::kWebApp)].traffic_share[1], 0.0);
+}
+
+}  // namespace
+}  // namespace ebs

@@ -1,0 +1,302 @@
+// Tests for the page-cache policies, hottest-block analysis and the
+// cache-location study.
+
+#include <gtest/gtest.h>
+
+#include "src/cache/hotspot.h"
+#include "src/cache/location.h"
+#include "src/cache/policy.h"
+#include "tests/test_helpers.h"
+
+namespace ebs {
+namespace {
+
+TEST(FifoTest, EvictsInInsertionOrder) {
+  auto cache = MakeCache(CachePolicy::kFifo, 2);
+  EXPECT_FALSE(cache->Access(1));
+  EXPECT_FALSE(cache->Access(2));
+  EXPECT_TRUE(cache->Access(1));   // hit does not reorder FIFO
+  EXPECT_FALSE(cache->Access(3));  // evicts 1 (oldest)
+  EXPECT_FALSE(cache->Access(1));
+  EXPECT_TRUE(cache->Access(3));
+}
+
+TEST(LruTest, HitRefreshesRecency) {
+  auto cache = MakeCache(CachePolicy::kLru, 2);
+  EXPECT_FALSE(cache->Access(1));
+  EXPECT_FALSE(cache->Access(2));
+  EXPECT_TRUE(cache->Access(1));   // 1 becomes most recent
+  EXPECT_FALSE(cache->Access(3));  // evicts 2
+  EXPECT_TRUE(cache->Access(1));
+  EXPECT_FALSE(cache->Access(2));
+}
+
+TEST(LfuTest, EvictsLeastFrequent) {
+  auto cache = MakeCache(CachePolicy::kLfu, 2);
+  cache->Access(1);
+  cache->Access(1);
+  cache->Access(1);
+  cache->Access(2);
+  EXPECT_FALSE(cache->Access(3));  // evicts 2 (freq 1) not 1 (freq 3)
+  EXPECT_TRUE(cache->Access(1));
+  EXPECT_FALSE(cache->Access(2));
+}
+
+TEST(ClockTest, SecondChanceSparesReferencedPage) {
+  auto cache = MakeCache(CachePolicy::kClock, 3);
+  cache->Access(1);
+  cache->Access(2);
+  cache->Access(3);
+  EXPECT_FALSE(cache->Access(4));  // full sweep clears all bits, evicts 1
+  EXPECT_TRUE(cache->Access(2));   // re-references 2 after the sweep
+  EXPECT_FALSE(cache->Access(5));  // hand skips referenced 2, evicts 3
+  EXPECT_TRUE(cache->Access(2));
+  EXPECT_TRUE(cache->Access(4));
+  EXPECT_FALSE(cache->Access(3));
+}
+
+TEST(TwoQTest, PromotionViaGhostQueue) {
+  auto cache = MakeCache(CachePolicy::kTwoQ, 8);
+  // First touch goes to A1in (capacity 2 of 8).
+  EXPECT_FALSE(cache->Access(1));
+  EXPECT_TRUE(cache->Access(1));  // still in A1in
+  // Push 1 out of A1in into the ghost queue.
+  cache->Access(2);
+  cache->Access(3);
+  // Re-reference after eviction promotes into Am.
+  EXPECT_FALSE(cache->Access(1));
+  EXPECT_TRUE(cache->Access(1));
+}
+
+TEST(FrozenTest, OnlyPinnedRangeHits) {
+  auto cache = MakeFrozenCache(100, 10);
+  EXPECT_TRUE(cache->Access(100));
+  EXPECT_TRUE(cache->Access(109));
+  EXPECT_FALSE(cache->Access(99));
+  EXPECT_FALSE(cache->Access(110));
+  // Misses never evict / insert anything.
+  EXPECT_FALSE(cache->Access(50));
+  EXPECT_FALSE(cache->Access(50));
+}
+
+TEST(CachePolicyTest, FactoryProducesAllPolicies) {
+  for (const CachePolicy policy :
+       {CachePolicy::kFifo, CachePolicy::kLru, CachePolicy::kLfu, CachePolicy::kClock,
+        CachePolicy::kTwoQ, CachePolicy::kFrozenHot}) {
+    const auto cache = MakeCache(policy, 8);
+    ASSERT_NE(cache, nullptr);
+    EXPECT_EQ(cache->capacity_pages(), 8u);
+  }
+}
+
+TEST(CachePolicyTest, StressNoCrashAndBoundedHits) {
+  Rng rng(1);
+  for (const CachePolicy policy : {CachePolicy::kFifo, CachePolicy::kLru, CachePolicy::kLfu,
+                                   CachePolicy::kClock, CachePolicy::kTwoQ}) {
+    auto cache = MakeCache(policy, 64);
+    size_t hits = 0;
+    const size_t n = 20000;
+    for (size_t i = 0; i < n; ++i) {
+      hits += cache->Access(rng.NextBounded(256)) ? 1 : 0;
+    }
+    EXPECT_GT(hits, 0u) << CachePolicyName(policy);
+    EXPECT_LT(hits, n) << CachePolicyName(policy);
+  }
+}
+
+TEST(AccessRangeTest, CountsPerPageHits) {
+  auto cache = MakeCache(CachePolicy::kLru, 10);
+  EXPECT_EQ(AccessRange(*cache, 0, 4), 0u);
+  EXPECT_EQ(AccessRange(*cache, 2, 4), 2u);  // pages 2,3 hit; 4,5 miss
+}
+
+// --- Hotspot analysis --------------------------------------------------------
+
+TraceDataset HotTraces(const Fleet& fleet, VdId vd, double window_seconds) {
+  // 60 IOs in block 2 (writes), 20 IOs in block 5 (reads), 20 scattered.
+  TraceDataset traces;
+  traces.window_seconds = window_seconds;
+  const uint64_t block = 64ULL * kMiB;
+  auto push = [&](double ts, uint64_t offset, OpType op) {
+    TraceRecord r;
+    r.timestamp = ts;
+    r.offset = offset;
+    r.op = op;
+    r.size_bytes = 16 * 1024;
+    r.vd = vd;
+    r.vm = fleet.vds[vd.value()].vm;
+    traces.records.push_back(r);
+  };
+  for (int i = 0; i < 60; ++i) {
+    push(window_seconds * i / 100.0, 2 * block + 4096 * (i % 8), OpType::kWrite);
+  }
+  for (int i = 0; i < 20; ++i) {
+    push(window_seconds * i / 40.0, 5 * block + 8192, OpType::kRead);
+  }
+  for (int i = 0; i < 20; ++i) {
+    push(window_seconds * i / 25.0, (10 + i) * block, OpType::kWrite);
+  }
+  return traces;
+}
+
+TEST(HotspotTest, FindsHottestBlock) {
+  const Fleet fleet = MakeTinyFleet({{{1}}});
+  const TraceDataset traces = HotTraces(fleet, VdId(0), 100.0);
+  const VdTraceIndex index(fleet, traces);
+  const auto stats = AnalyzeHottestBlock(index.ForVd(VdId(0)), 64ULL * kGiB, 64ULL * kMiB,
+                                         100.0, 10.0);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->block_index, 2u);
+  EXPECT_EQ(stats->total_accesses, 100u);
+  EXPECT_EQ(stats->block_accesses, 60u);
+  EXPECT_DOUBLE_EQ(stats->access_rate, 0.6);
+  EXPECT_DOUBLE_EQ(stats->wr_ratio, 1.0);  // hottest block is write-only
+}
+
+TEST(HotspotTest, ReadDominantBlock) {
+  const Fleet fleet = MakeTinyFleet({{{1}}});
+  TraceDataset traces;
+  traces.window_seconds = 10.0;
+  for (int i = 0; i < 10; ++i) {
+    TraceRecord r;
+    r.timestamp = i;
+    r.offset = 0;
+    r.op = OpType::kRead;
+    r.size_bytes = 4096;
+    r.vd = VdId(0);
+    traces.records.push_back(r);
+  }
+  const VdTraceIndex index(fleet, traces);
+  const auto stats =
+      AnalyzeHottestBlock(index.ForVd(VdId(0)), 64ULL * kGiB, 64ULL * kMiB, 10.0, 1.0);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_DOUBLE_EQ(stats->wr_ratio, -1.0);
+}
+
+TEST(HotspotTest, EmptyTracesGiveNullopt) {
+  EXPECT_FALSE(AnalyzeHottestBlock({}, 64ULL * kGiB, 64ULL * kMiB, 10.0, 1.0).has_value());
+}
+
+TEST(HotspotTest, SizeAndTouchedFractions) {
+  const Fleet fleet = MakeTinyFleet({{{1}}});
+  const TraceDataset traces = HotTraces(fleet, VdId(0), 100.0);
+  const VdTraceIndex index(fleet, traces);
+  const auto stats = AnalyzeHottestBlock(index.ForVd(VdId(0)), 64ULL * kGiB, 64ULL * kMiB,
+                                         100.0, 10.0);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_DOUBLE_EQ(stats->size_fraction, 64.0 / (64.0 * 1024.0));
+  EXPECT_GT(stats->touched_fraction, 0.0);
+  EXPECT_LE(stats->touched_fraction, 1.0);
+}
+
+TEST(HotspotTest, VdTraceIndexOrdersActiveVdsBySampleCount) {
+  const Fleet fleet = MakeTinyFleet({{{1}}, {{1}}});
+  TraceDataset traces = HotTraces(fleet, VdId(0), 100.0);
+  TraceRecord r;
+  r.vd = VdId(1);
+  r.offset = 0;
+  r.size_bytes = 4096;
+  traces.records.push_back(r);
+  const VdTraceIndex index(fleet, traces);
+  const auto active = index.ActiveVds(1);
+  ASSERT_EQ(active.size(), 2u);
+  EXPECT_EQ(active[0], VdId(0));
+  EXPECT_EQ(index.ForVd(VdId(1)).size(), 1u);
+  EXPECT_TRUE(index.ActiveVds(50).size() == 1u);
+}
+
+TEST(HotspotTest, FrozenReplayPinsHottestBlock) {
+  const Fleet fleet = MakeTinyFleet({{{1}}});
+  const TraceDataset traces = HotTraces(fleet, VdId(0), 100.0);
+  const VdTraceIndex index(fleet, traces);
+  const auto frozen = ReplayVdCache(index.ForVd(VdId(0)), 64ULL * kGiB, 64ULL * kMiB,
+                                    CachePolicy::kFrozenHot);
+  // All 60 hottest-block IOs (of 100, 4 pages each) hit; others miss.
+  EXPECT_NEAR(frozen.hit_ratio, 0.6, 1e-9);
+}
+
+TEST(HotspotTest, LruReplayCapturesReuse) {
+  const Fleet fleet = MakeTinyFleet({{{1}}});
+  const TraceDataset traces = HotTraces(fleet, VdId(0), 100.0);
+  const VdTraceIndex index(fleet, traces);
+  const auto lru =
+      ReplayVdCache(index.ForVd(VdId(0)), 64ULL * kGiB, 64ULL * kMiB, CachePolicy::kLru);
+  // The hottest block cycles over 8 distinct offsets and the read block over
+  // one: plenty of reuse, minus cold misses.
+  EXPECT_GT(lru.hit_ratio, 0.5);
+  EXPECT_LT(lru.hit_ratio, 1.0);
+}
+
+// --- Cache location ----------------------------------------------------------
+
+TEST(LocationTest, LatencyGainsOrdering) {
+  const Fleet fleet = MakeTinyFleet({{{1}}});
+  // All IOs hammer one block so the VD is cacheable; give every record a
+  // fixed latency breakdown.
+  TraceDataset traces;
+  traces.window_seconds = 10.0;
+  for (int i = 0; i < 200; ++i) {
+    TraceRecord r;
+    r.timestamp = i * 0.05;
+    r.offset = (i % 10 < 8) ? 4096ULL * (i % 4) : 10ULL * kGiB + 4096ULL * i;
+    r.op = i % 4 == 0 ? OpType::kRead : OpType::kWrite;
+    r.size_bytes = 4096;
+    r.vd = VdId(0);
+    r.vm = VmId(0);
+    r.segment = fleet.vds[0].segments[0];
+    for (int c = 0; c < kStackComponentCount; ++c) {
+      r.latency.component_us[c] = 20.0;
+    }
+    traces.records.push_back(r);
+  }
+  const VdTraceIndex index(fleet, traces);
+  CacheLocationConfig config;
+  config.block_bytes = 64ULL * kMiB;
+  config.cacheable_threshold = 0.25;
+  const auto analysis = AnalyzeCacheLocation(fleet, traces, index, config);
+  EXPECT_EQ(analysis.cacheable_vds, 1u);
+  for (int op = 0; op < kOpTypeCount; ++op) {
+    const LatencyGain& cn = analysis.gain[op][0];
+    const LatencyGain& bs = analysis.gain[op][1];
+    // CN hit (20 + flash) is far below BS hit (60 + flash) and full (100).
+    EXPECT_LT(cn.p50, bs.p50);
+    EXPECT_LE(bs.p50, 1.0);
+    // p99 sits in the miss tail: no gain.
+    EXPECT_NEAR(cn.p99, 1.0, 0.05);
+  }
+}
+
+TEST(LocationTest, NonCacheableVdGetsNoGain) {
+  const Fleet fleet = MakeTinyFleet({{{1}}});
+  TraceDataset traces;
+  traces.window_seconds = 10.0;
+  // Perfectly scattered accesses: no block exceeds the threshold.
+  for (int i = 0; i < 100; ++i) {
+    TraceRecord r;
+    r.timestamp = i * 0.1;
+    r.offset = static_cast<uint64_t>(i) * 512ULL * kMiB % (64ULL * kGiB);
+    r.op = OpType::kWrite;
+    r.size_bytes = 4096;
+    r.vd = VdId(0);
+    r.vm = VmId(0);
+    r.segment = fleet.SegmentForOffset(VdId(0), r.offset);
+    for (int c = 0; c < kStackComponentCount; ++c) {
+      r.latency.component_us[c] = 20.0;
+    }
+    traces.records.push_back(r);
+  }
+  const VdTraceIndex index(fleet, traces);
+  CacheLocationConfig config;
+  config.block_bytes = 64ULL * kMiB;
+  const auto analysis = AnalyzeCacheLocation(fleet, traces, index, config);
+  EXPECT_EQ(analysis.cacheable_vds, 0u);
+  EXPECT_DOUBLE_EQ(analysis.gain[1][0].p50, 1.0);
+}
+
+TEST(LocationTest, SiteNames) {
+  EXPECT_STREQ(CacheSiteName(CacheSite::kComputeNode), "CN-cache");
+  EXPECT_STREQ(CacheSiteName(CacheSite::kBlockServer), "BS-cache");
+}
+
+}  // namespace
+}  // namespace ebs

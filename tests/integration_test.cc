@@ -1,0 +1,160 @@
+// End-to-end integration tests: a full simulation must reproduce the paper's
+// qualitative shapes, and the facade must be self-consistent.
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/skewness.h"
+#include "src/balancer/balancer.h"
+#include "src/cache/hotspot.h"
+#include "src/core/simulation.h"
+#include "src/hypervisor/wt_balance.h"
+#include "src/throttle/throttle.h"
+#include "src/util/stats.h"
+
+namespace ebs {
+namespace {
+
+class SimulationFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SimulationConfig config = DcPreset(1);
+    config.fleet.user_count = 60;  // smaller than the bench preset, same model
+    config.workload.window_steps = 300;
+    sim_ = new EbsSimulation(config);
+  }
+  static void TearDownTestSuite() {
+    delete sim_;
+    sim_ = nullptr;
+  }
+  static EbsSimulation* sim_;
+};
+
+EbsSimulation* SimulationFixture::sim_ = nullptr;
+
+TEST_F(SimulationFixture, RollupCachesAreStable) {
+  const auto* first = &sim_->VmSeries();
+  const auto* second = &sim_->VmSeries();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first->size(), sim_->fleet().vms.size());
+}
+
+TEST_F(SimulationFixture, AllRollupsShapedByFleet) {
+  EXPECT_EQ(sim_->VdSeries().size(), sim_->fleet().vds.size());
+  EXPECT_EQ(sim_->UserSeries().size(), sim_->fleet().users.size());
+  EXPECT_EQ(sim_->WtSeries().size(), sim_->fleet().wts.size());
+  EXPECT_EQ(sim_->CnSeries().size(), sim_->fleet().nodes.size());
+  EXPECT_EQ(sim_->BsSeries().size(), sim_->fleet().block_servers.size());
+  EXPECT_EQ(sim_->SnSeries().size(), sim_->fleet().storage_nodes.size());
+  EXPECT_EQ(sim_->SegSeries().size(), sim_->metrics().segment_series.size());
+}
+
+TEST_F(SimulationFixture, WriteBytesDominateFleetwide) {
+  EXPECT_GT(sim_->workload().TotalDeliveredBytes(OpType::kWrite),
+            sim_->workload().TotalDeliveredBytes(OpType::kRead));
+}
+
+TEST_F(SimulationFixture, ReadSkewExceedsWriteSkewAtVmLevel) {
+  const LevelSkewness skew = ComputeLevelSkewness(sim_->VmSeries());
+  EXPECT_GT(skew.ccr1[0], skew.ccr1[1] * 0.8);
+  EXPECT_GT(skew.p2a50[0], skew.p2a50[1] * 3.0);
+}
+
+TEST_F(SimulationFixture, StorageNodeLevelIsSmoother) {
+  const LevelSkewness vm = ComputeLevelSkewness(sim_->VmSeries());
+  const LevelSkewness sn = ComputeLevelSkewness(sim_->SnSeries());
+  EXPECT_LT(sn.ccr1[1], vm.ccr1[1]);
+  EXPECT_LT(sn.p2a50[0], vm.p2a50[0]);
+}
+
+TEST_F(SimulationFixture, SegmentLevelShowsExtremeCcr) {
+  const LevelSkewness seg = ComputeLevelSkewness(sim_->SegSeries());
+  EXPECT_GT(seg.ccr20[0], 0.8);
+  EXPECT_GT(seg.ccr20[1], 0.8);
+}
+
+TEST_F(SimulationFixture, HypervisorSkewIsVisible) {
+  const auto samples = WtCovSamples(sim_->fleet(), sim_->metrics(), OpType::kWrite, 300);
+  ASSERT_FALSE(samples.empty());
+  EXPECT_GT(Percentile(samples, 50.0), 0.2);
+}
+
+TEST_F(SimulationFixture, NodeClassificationCoversMostNodes) {
+  const auto summary = ClassifyNodes(sim_->fleet(), sim_->metrics());
+  const double total =
+      summary.type1_fraction + summary.type2_fraction + summary.type3_fraction;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(summary.type3_fraction, 0.5);  // Type III dominates (§4.2)
+}
+
+TEST_F(SimulationFixture, ThrottleEventsShowHighRar) {
+  const auto groups = MultiVdVmGroups(sim_->fleet());
+  const auto analysis =
+      AnalyzeThrottle(sim_->fleet(), sim_->workload().offered_vd, groups, {});
+  if (!analysis.rar_throughput.empty()) {
+    EXPECT_GT(Percentile(analysis.rar_throughput, 50.0), 0.3);
+  }
+  EXPECT_GT(analysis.throughput_events, analysis.iops_events);
+}
+
+TEST_F(SimulationFixture, BalancerReducesWriteCovOverTime) {
+  BalancerConfig config;
+  config.period_steps = 30;
+  InterBsBalancer balancer(sim_->fleet(), sim_->metrics(),
+                           sim_->fleet().storage_clusters[0].id, config);
+  const auto result = balancer.Run();
+  ASSERT_GE(result.write_cov.size(), 4u);
+  const double early = (result.write_cov[0] + result.write_cov[1]) / 2.0;
+  double late = 0.0;
+  for (size_t i = result.write_cov.size() - 2; i < result.write_cov.size(); ++i) {
+    late += result.write_cov[i] / 2.0;
+  }
+  EXPECT_LT(late, early * 1.1);  // never materially worse, usually better
+}
+
+TEST_F(SimulationFixture, HottestBlocksAreWriteDominant) {
+  const VdTraceIndex index(sim_->fleet(), sim_->traces());
+  size_t write_dominant = 0;
+  size_t counted = 0;
+  for (const VdId vd : index.ActiveVds(100)) {
+    const auto stats =
+        AnalyzeHottestBlock(index.ForVd(vd), sim_->fleet().vds[vd.value()].capacity_bytes,
+                            64ULL * kMiB, sim_->traces().window_seconds, 60.0);
+    if (!stats) {
+      continue;
+    }
+    ++counted;
+    if (stats->wr_ratio > 1.0 / 3.0) {
+      ++write_dominant;
+    }
+  }
+  ASSERT_GT(counted, 10u);
+  EXPECT_GT(static_cast<double>(write_dominant) / static_cast<double>(counted), 0.6);
+}
+
+TEST(PresetTest, DcPresetsDiffer) {
+  const SimulationConfig a = DcPreset(1);
+  const SimulationConfig b = DcPreset(2);
+  const SimulationConfig c = DcPreset(3);
+  EXPECT_NE(a.fleet.seed, b.fleet.seed);
+  EXPECT_NE(b.fleet.app_vm_weights, c.fleet.app_vm_weights);
+}
+
+TEST(PresetTest, StorageStudyPresetHasManyClusters) {
+  const SimulationConfig config = StorageStudyPreset();
+  EXPECT_GE(config.fleet.storage_cluster_count, 8u);
+  EXPECT_GT(config.workload.max_vd_mean_write_rate_mbps, 0.0);
+}
+
+TEST(PresetTest, SimulationIsDeterministic) {
+  SimulationConfig config = DcPreset(2);
+  config.fleet.user_count = 15;
+  config.workload.window_steps = 60;
+  const EbsSimulation a(config);
+  const EbsSimulation b(config);
+  EXPECT_EQ(a.traces().records.size(), b.traces().records.size());
+  EXPECT_DOUBLE_EQ(a.workload().TotalDeliveredBytes(OpType::kWrite),
+                   b.workload().TotalDeliveredBytes(OpType::kWrite));
+}
+
+}  // namespace
+}  // namespace ebs

@@ -1,0 +1,244 @@
+// Gradient checks for the autograd tape (finite differences) and training
+// tests for the attention forecaster.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "src/ml/attention.h"
+#include "src/ml/tensor.h"
+#include "src/util/rng.h"
+
+namespace ebs {
+namespace {
+
+// Numerically checks d(loss)/d(param[i][j]) for every entry of `param`
+// against the tape's gradient. `build` constructs the graph from the current
+// parameter matrix and returns the loss ref (and the tape by out-param).
+void CheckGradient(Mat param, const std::function<double(const Mat&)>& loss_value,
+                   const std::function<Mat(const Mat&)>& tape_gradient, double tolerance) {
+  const Mat analytic = tape_gradient(param);
+  const double eps = 1e-5;
+  for (size_t i = 0; i < param.rows(); ++i) {
+    for (size_t j = 0; j < param.cols(); ++j) {
+      Mat plus = param;
+      plus(i, j) += eps;
+      Mat minus = param;
+      minus(i, j) -= eps;
+      const double numeric = (loss_value(plus) - loss_value(minus)) / (2.0 * eps);
+      EXPECT_NEAR(analytic(i, j), numeric, tolerance)
+          << "param(" << i << "," << j << ")";
+    }
+  }
+}
+
+Mat RandomMat(size_t rows, size_t cols, Rng& rng) {
+  Mat m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      m(i, j) = rng.NextGaussian();
+    }
+  }
+  return m;
+}
+
+TEST(TapeTest, ForwardMatMulAddRelu) {
+  Tape tape;
+  Mat a(1, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = -2.0;
+  Mat w(2, 1);
+  w(0, 0) = 3.0;
+  w(1, 0) = 1.0;
+  const auto x = tape.Leaf(a, false);
+  const auto weight = tape.Leaf(w, false);
+  const auto y = tape.Relu(tape.MatMul(x, weight));
+  EXPECT_DOUBLE_EQ(tape.value(y)(0, 0), 1.0);
+}
+
+TEST(TapeTest, SoftmaxRowsSumToOne) {
+  Tape tape;
+  Rng rng(1);
+  const auto x = tape.Leaf(RandomMat(3, 4, rng), false);
+  const auto soft = tape.SoftmaxRows(x);
+  for (size_t i = 0; i < 3; ++i) {
+    double row = 0.0;
+    for (size_t j = 0; j < 4; ++j) {
+      const double p = tape.value(soft)(i, j);
+      EXPECT_GT(p, 0.0);
+      row += p;
+    }
+    EXPECT_NEAR(row, 1.0, 1e-12);
+  }
+}
+
+TEST(TapeTest, GradientMatMul) {
+  Rng rng(2);
+  const Mat x = RandomMat(3, 4, rng);
+  auto loss_of = [&](const Mat& w) {
+    Tape tape;
+    const auto xa = tape.Leaf(x, false);
+    const auto wa = tape.Leaf(w, true);
+    const auto pooled = tape.MeanRows(tape.MatMul(xa, wa));
+    Mat proj(2, 1, 1.0);
+    const auto out = tape.MatMul(pooled, tape.Leaf(proj, false));
+    const auto loss = tape.SquaredError(out, 1.5);
+    return std::pair{std::move(tape), loss};
+  };
+  CheckGradient(
+      RandomMat(4, 2, rng),
+      [&](const Mat& w) {
+        auto [tape, loss] = loss_of(w);
+        return tape.value(loss)(0, 0);
+      },
+      [&](const Mat& w) {
+        auto [tape, loss] = loss_of(w);
+        tape.Backward(loss);
+        return tape.grad(1);  // the weight leaf was pushed second
+      },
+      1e-6);
+}
+
+TEST(TapeTest, GradientThroughSoftmaxAttention) {
+  Rng rng(3);
+  const Mat x = RandomMat(4, 3, rng);
+  auto run = [&](const Mat& wq) {
+    Tape tape;
+    const auto xa = tape.Leaf(x, false);
+    const auto wqa = tape.Leaf(wq, true);
+    const auto q = tape.MatMul(xa, wqa);
+    const auto scores = tape.Scale(tape.MatMul(q, tape.Transpose(xa)), 1.0 / std::sqrt(3.0));
+    const auto attn = tape.SoftmaxRows(scores);
+    const auto ctx = tape.MatMul(attn, xa);
+    const auto pooled = tape.MeanRows(ctx);
+    Mat proj(3, 1, 0.7);
+    const auto out = tape.MatMul(pooled, tape.Leaf(proj, false));
+    const auto loss = tape.SquaredError(out, -0.3);
+    return std::pair{std::move(tape), loss};
+  };
+  CheckGradient(
+      RandomMat(3, 3, rng),
+      [&](const Mat& w) {
+        auto [tape, loss] = run(w);
+        return tape.value(loss)(0, 0);
+      },
+      [&](const Mat& w) {
+        auto [tape, loss] = run(w);
+        tape.Backward(loss);
+        return tape.grad(1);
+      },
+      1e-5);
+}
+
+TEST(TapeTest, GradientThroughReluAndBias) {
+  Rng rng(4);
+  const Mat x = RandomMat(2, 3, rng);
+  const Mat w1 = RandomMat(3, 5, rng);
+  auto run = [&](const Mat& bias) {
+    Tape tape;
+    const auto xa = tape.Leaf(x, false);
+    const auto w1a = tape.Leaf(w1, false);
+    const auto ba = tape.Leaf(bias, true);
+    const auto hidden = tape.Relu(tape.AddRowBroadcast(tape.MatMul(xa, w1a), ba));
+    const auto pooled = tape.MeanRows(hidden);
+    Mat proj(5, 1, 0.3);
+    const auto out = tape.MatMul(pooled, tape.Leaf(proj, false));
+    const auto loss = tape.SquaredError(out, 2.0);
+    return std::pair{std::move(tape), loss};
+  };
+  CheckGradient(
+      RandomMat(1, 5, rng),
+      [&](const Mat& b) {
+        auto [tape, loss] = run(b);
+        return tape.value(loss)(0, 0);
+      },
+      [&](const Mat& b) {
+        auto [tape, loss] = run(b);
+        tape.Backward(loss);
+        return tape.grad(2);
+      },
+      1e-5);
+}
+
+TEST(TapeTest, GradientOfAddAndScale) {
+  Rng rng(5);
+  const Mat other = RandomMat(1, 3, rng);
+  auto run = [&](const Mat& a) {
+    Tape tape;
+    const auto aa = tape.Leaf(a, true);
+    const auto oa = tape.Leaf(other, false);
+    const auto sum = tape.Scale(tape.Add(aa, oa), 2.5);
+    Mat proj(3, 1, 1.0);
+    const auto out = tape.MatMul(sum, tape.Leaf(proj, false));
+    const auto loss = tape.SquaredError(out, 0.0);
+    return std::pair{std::move(tape), loss};
+  };
+  CheckGradient(
+      RandomMat(1, 3, rng),
+      [&](const Mat& a) {
+        auto [tape, loss] = run(a);
+        return tape.value(loss)(0, 0);
+      },
+      [&](const Mat& a) {
+        auto [tape, loss] = run(a);
+        tape.Backward(loss);
+        return tape.grad(0);
+      },
+      1e-6);
+}
+
+TEST(AttentionTest, PersistenceFallbackBeforeFit) {
+  AttentionForecaster model(2, {});
+  EXPECT_DOUBLE_EQ(model.PredictNext(0), 0.0);
+  model.Observe({5.0, 7.0});
+  EXPECT_FALSE(model.fitted());
+  EXPECT_DOUBLE_EQ(model.PredictNext(1), 7.0);
+}
+
+TEST(AttentionTest, LearnsConstantSeries) {
+  AttentionOptions options;
+  options.context = 6;
+  options.initial_epochs = 6;
+  options.seed = 3;
+  AttentionForecaster model(3, options);
+  for (int t = 0; t < 40; ++t) {
+    model.Observe({10.0, 100.0, 1000.0});
+  }
+  model.FitFull();
+  ASSERT_TRUE(model.fitted());
+  EXPECT_NEAR(model.PredictNext(0), 10.0, 6.0);
+  EXPECT_NEAR(model.PredictNext(2), 1000.0, 500.0);
+}
+
+TEST(AttentionTest, FineTuneImprovesAfterShift) {
+  AttentionOptions options;
+  options.context = 6;
+  options.initial_epochs = 5;
+  options.finetune_steps = 120;
+  options.seed = 5;
+  AttentionForecaster model(2, options);
+  for (int t = 0; t < 30; ++t) {
+    model.Observe({20.0, 20.0});
+  }
+  model.FitFull();
+  // Regime shift: level moves to 60.
+  for (int t = 0; t < 12; ++t) {
+    model.Observe({60.0, 60.0});
+    model.FineTune();
+  }
+  const double prediction = model.PredictNext(0);
+  EXPECT_GT(prediction, 35.0);
+}
+
+TEST(AttentionTest, HistoryGrows) {
+  AttentionForecaster model(1, {});
+  EXPECT_EQ(model.history_periods(), 0u);
+  model.Observe({1.0});
+  model.Observe({2.0});
+  EXPECT_EQ(model.history_periods(), 2u);
+}
+
+}  // namespace
+}  // namespace ebs

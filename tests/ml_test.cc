@@ -1,0 +1,308 @@
+// Tests for the prediction substrate: linear algebra, predictors, ARIMA and
+// gradient-boosted trees.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/ml/arima.h"
+#include "src/ml/gbt.h"
+#include "src/ml/linalg.h"
+#include "src/ml/predictor.h"
+#include "src/util/rng.h"
+
+namespace ebs {
+namespace {
+
+TEST(MatTest, BasicAccessors) {
+  Mat m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+  m.Fill(0.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+}
+
+TEST(MatTest, MatMulKnownProduct) {
+  Mat a(2, 3);
+  Mat b(3, 2);
+  int v = 1;
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      a(i, j) = v++;
+    }
+  }
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      b(i, j) = v++;
+    }
+  }
+  const Mat c = MatMul(a, b);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12].
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(MatTest, TransposeRoundTrip) {
+  Mat a(2, 3);
+  a(0, 2) = 5.0;
+  a(1, 0) = -1.0;
+  const Mat t = Transpose(a);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), -1.0);
+  const Mat back = Transpose(t);
+  EXPECT_DOUBLE_EQ(back(0, 2), 5.0);
+}
+
+TEST(LinalgTest, SolveLinearSystemKnown) {
+  Mat a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  const auto x = SolveLinearSystem(a, {5.0, 10.0});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 3.0, 1e-9);
+}
+
+TEST(LinalgTest, SingularSystemReturnsEmpty) {
+  Mat a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_TRUE(SolveLinearSystem(a, {1.0, 2.0}).empty());
+}
+
+TEST(LinalgTest, PivotingHandlesZeroDiagonal) {
+  Mat a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const auto x = SolveLinearSystem(a, {2.0, 3.0});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LinalgTest, LeastSquaresRecoversExactModel) {
+  // y = 2 + 3*x1 - x2.
+  Rng rng(1);
+  Mat x(50, 3);
+  std::vector<double> y(50);
+  for (size_t r = 0; r < 50; ++r) {
+    x(r, 0) = 1.0;
+    x(r, 1) = rng.NextGaussian();
+    x(r, 2) = rng.NextGaussian();
+    y[r] = 2.0 + 3.0 * x(r, 1) - x(r, 2);
+  }
+  const auto beta = SolveLeastSquares(x, y);
+  ASSERT_EQ(beta.size(), 3u);
+  EXPECT_NEAR(beta[0], 2.0, 1e-6);
+  EXPECT_NEAR(beta[1], 3.0, 1e-6);
+  EXPECT_NEAR(beta[2], -1.0, 1e-6);
+}
+
+TEST(PredictorTest, LastValue) {
+  auto predictor = MakeLastValuePredictor();
+  EXPECT_DOUBLE_EQ(predictor->PredictNext(), 0.0);
+  predictor->Observe(3.0);
+  predictor->Observe(7.0);
+  EXPECT_DOUBLE_EQ(predictor->PredictNext(), 7.0);
+}
+
+TEST(PredictorTest, LinearFitExtrapolatesLine) {
+  auto predictor = MakeLinearFitPredictor(4);
+  for (const double v : {10.0, 12.0, 14.0, 16.0}) {
+    predictor->Observe(v);
+  }
+  EXPECT_NEAR(predictor->PredictNext(), 18.0, 1e-9);
+}
+
+TEST(PredictorTest, LinearFitUsesOnlyWindow) {
+  auto predictor = MakeLinearFitPredictor(3);
+  // Old garbage followed by a clean line in the window.
+  for (const double v : {100.0, -50.0, 1.0, 2.0, 3.0}) {
+    predictor->Observe(v);
+  }
+  EXPECT_NEAR(predictor->PredictNext(), 4.0, 1e-9);
+}
+
+TEST(PredictorTest, LinearFitClampsAtZero) {
+  auto predictor = MakeLinearFitPredictor(3);
+  for (const double v : {9.0, 5.0, 1.0}) {
+    predictor->Observe(v);
+  }
+  EXPECT_DOUBLE_EQ(predictor->PredictNext(), 0.0);
+}
+
+TEST(PredictorTest, LinearFitSingleObservation) {
+  auto predictor = MakeLinearFitPredictor(4);
+  predictor->Observe(5.0);
+  EXPECT_DOUBLE_EQ(predictor->PredictNext(), 5.0);
+}
+
+std::vector<double> Ar1Series(double phi, double intercept, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> series(n);
+  double x = intercept / (1.0 - phi);
+  for (size_t i = 0; i < n; ++i) {
+    x = intercept + phi * x + 0.5 * rng.NextGaussian();
+    series[i] = x;
+  }
+  return series;
+}
+
+TEST(ArimaTest, RecoversAr1Coefficient) {
+  const auto series = Ar1Series(0.8, 2.0, 400, 7);
+  const ArimaFit fit = FitArima(series, 1, 0, 0);
+  ASSERT_TRUE(fit.valid);
+  ASSERT_EQ(fit.ar.size(), 1u);
+  EXPECT_NEAR(fit.ar[0], 0.8, 0.08);
+}
+
+TEST(ArimaTest, TooShortSeriesIsInvalid) {
+  const std::vector<double> tiny = {1.0, 2.0, 3.0};
+  EXPECT_FALSE(FitArima(tiny, 2, 0, 1).valid);
+}
+
+TEST(ArimaTest, AutoFitPicksSomething) {
+  const auto series = Ar1Series(0.6, 1.0, 300, 9);
+  const ArimaFit fit = AutoFitArima(series, {});
+  EXPECT_TRUE(fit.valid);
+  EXPECT_GE(fit.p + fit.q, 1);
+}
+
+TEST(ArimaTest, ForecastBeatsPersistenceOnAr1) {
+  const auto series = Ar1Series(0.9, 0.0, 500, 11);
+  double arima_sse = 0.0;
+  double persistence_sse = 0.0;
+  const size_t train = 200;
+  for (size_t t = train; t + 1 < series.size(); ++t) {
+    const std::span<const double> history(series.data(), t + 1);
+    const ArimaFit fit = FitArima(history, 1, 0, 0);
+    ASSERT_TRUE(fit.valid);
+    const double forecast = ForecastOne(fit, history);
+    arima_sse += (forecast - series[t + 1]) * (forecast - series[t + 1]);
+    persistence_sse += (series[t] - series[t + 1]) * (series[t] - series[t + 1]);
+  }
+  EXPECT_LT(arima_sse, persistence_sse);
+}
+
+TEST(ArimaTest, DifferencingHandlesTrend) {
+  // Strong linear trend: a d=1 model should fit far better than d=0.
+  std::vector<double> series(200);
+  Rng rng(13);
+  for (size_t i = 0; i < series.size(); ++i) {
+    series[i] = 5.0 * static_cast<double>(i) + rng.NextGaussian();
+  }
+  const ArimaFit d0 = FitArima(series, 1, 0, 0);
+  const ArimaFit d1 = FitArima(series, 1, 1, 0);
+  ASSERT_TRUE(d0.valid);
+  ASSERT_TRUE(d1.valid);
+  const std::span<const double> history(series);
+  EXPECT_NEAR(ForecastOne(d1, history), 5.0 * 200.0, 10.0);
+}
+
+TEST(ArimaTest, PredictorInterfaceTracksSeries) {
+  ArimaOptions options;
+  options.train_window = 120;
+  auto predictor = MakeArimaPredictor(options);
+  const auto series = Ar1Series(0.7, 3.0, 200, 15);
+  double sse = 0.0;
+  double persistence = 0.0;
+  for (size_t t = 0; t < series.size(); ++t) {
+    if (t > 50) {
+      const double forecast = predictor->PredictNext();
+      sse += (forecast - series[t]) * (forecast - series[t]);
+      persistence += (series[t - 1] - series[t]) * (series[t - 1] - series[t]);
+    }
+    predictor->Observe(series[t]);
+  }
+  EXPECT_LT(sse, persistence * 1.05);
+}
+
+TEST(GbtTest, LearnsStepFunction) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(17);
+  for (int i = 0; i < 400; ++i) {
+    const double v = rng.NextDouble();
+    x.push_back({v});
+    y.push_back(v < 0.5 ? 1.0 : 5.0);
+  }
+  GbtModel model;
+  GbtOptions options;
+  options.trees = 60;
+  model.Fit(x, y, options);
+  ASSERT_TRUE(model.fitted());
+  EXPECT_NEAR(model.Predict(std::vector<double>{0.2}), 1.0, 0.2);
+  EXPECT_NEAR(model.Predict(std::vector<double>{0.9}), 5.0, 0.2);
+}
+
+TEST(GbtTest, LearnsNonlinearInteraction) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(19);
+  for (int i = 0; i < 800; ++i) {
+    const double a = rng.NextDouble();
+    const double b = rng.NextDouble();
+    x.push_back({a, b});
+    y.push_back((a > 0.5) == (b > 0.5) ? 2.0 : -2.0);  // XOR-like
+  }
+  GbtModel model;
+  GbtOptions options;
+  options.trees = 60;
+  options.max_depth = 3;
+  model.Fit(x, y, options);
+  double sse = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double diff = model.Predict(x[i]) - y[i];
+    sse += diff * diff;
+  }
+  // Mean prediction would give SSE of 4 * n; the trees must do far better.
+  EXPECT_LT(sse / static_cast<double>(x.size()), 0.5);
+}
+
+TEST(GbtTest, EmptyInputIsNotFitted) {
+  GbtModel model;
+  model.Fit({}, {}, {});
+  EXPECT_FALSE(model.fitted());
+}
+
+TEST(GbtTest, PredictorWarmupFallsBackToLastValue) {
+  auto predictor = MakeGbtPredictor({});
+  predictor->Observe(4.0);
+  EXPECT_DOUBLE_EQ(predictor->PredictNext(), 4.0);
+}
+
+TEST(GbtTest, PredictorLearnsAlternatingSeries) {
+  GbtOptions options;
+  options.refit_every = 50;
+  options.lags = 2;
+  auto predictor = MakeGbtPredictor(options);
+  double sse = 0.0;
+  int evaluated = 0;
+  for (int t = 0; t < 300; ++t) {
+    const double value = t % 2 == 0 ? 1.0 : 3.0;
+    if (t > 100) {
+      const double forecast = predictor->PredictNext();
+      sse += (forecast - value) * (forecast - value);
+      ++evaluated;
+    }
+    predictor->Observe(value);
+  }
+  EXPECT_LT(sse / evaluated, 0.1);
+}
+
+}  // namespace
+}  // namespace ebs

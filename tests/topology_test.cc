@@ -1,0 +1,273 @@
+#include "src/topology/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "src/topology/ids.h"
+#include "src/topology/latency.h"
+#include "src/util/rng.h"
+
+namespace ebs {
+namespace {
+
+FleetConfig SmallConfig(uint64_t seed = 11) {
+  FleetConfig config;
+  config.seed = seed;
+  config.user_count = 40;
+  return config;
+}
+
+TEST(IdTest, DefaultIsInvalid) {
+  VdId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_TRUE(VdId(3).valid());
+}
+
+TEST(IdTest, ComparisonAndHash) {
+  EXPECT_EQ(VmId(2), VmId(2));
+  EXPECT_NE(VmId(2), VmId(3));
+  EXPECT_LT(VmId(2), VmId(3));
+  std::unordered_set<VmId> set;
+  set.insert(VmId(1));
+  set.insert(VmId(1));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(IdTest, DifferentTagsAreDistinctTypes) {
+  // Compile-time property: VdId and VmId cannot be compared; this test just
+  // documents the intent by using both in their own domains.
+  static_assert(!std::is_same_v<VdId, VmId>);
+}
+
+TEST(FleetTest, DeterministicForSeed) {
+  const Fleet a = BuildFleet(SmallConfig(5));
+  const Fleet b = BuildFleet(SmallConfig(5));
+  EXPECT_EQ(a.vms.size(), b.vms.size());
+  EXPECT_EQ(a.vds.size(), b.vds.size());
+  EXPECT_EQ(a.qps.size(), b.qps.size());
+  EXPECT_EQ(a.segments.size(), b.segments.size());
+  for (size_t i = 0; i < a.vds.size(); ++i) {
+    EXPECT_EQ(a.vds[i].capacity_bytes, b.vds[i].capacity_bytes);
+  }
+}
+
+TEST(FleetTest, DifferentSeedsDiffer) {
+  const Fleet a = BuildFleet(SmallConfig(5));
+  const Fleet b = BuildFleet(SmallConfig(6));
+  EXPECT_NE(a.vds.size(), b.vds.size());
+}
+
+TEST(FleetTest, UserCountMatchesConfig) {
+  const Fleet fleet = BuildFleet(SmallConfig());
+  EXPECT_EQ(fleet.users.size(), 40u);
+}
+
+TEST(FleetTest, EveryVmHasAtLeastOneVd) {
+  const Fleet fleet = BuildFleet(SmallConfig());
+  for (const Vm& vm : fleet.vms) {
+    EXPECT_GE(vm.vds.size(), 1u);
+  }
+}
+
+TEST(FleetTest, VdSegmentsCoverCapacity) {
+  const Fleet fleet = BuildFleet(SmallConfig());
+  for (const Vd& vd : fleet.vds) {
+    const uint64_t expected = (vd.capacity_bytes + kSegmentBytes - 1) / kSegmentBytes;
+    EXPECT_EQ(vd.segments.size(), expected);
+    for (size_t s = 0; s < vd.segments.size(); ++s) {
+      const Segment& seg = fleet.segments[vd.segments[s].value()];
+      EXPECT_EQ(seg.vd, vd.id);
+      EXPECT_EQ(seg.index_in_vd, s);
+    }
+  }
+}
+
+TEST(FleetTest, QpCountMatchesSpec) {
+  const Fleet fleet = BuildFleet(SmallConfig());
+  for (const Vd& vd : fleet.vds) {
+    EXPECT_EQ(vd.qps.size(),
+              static_cast<size_t>(fleet.spec_catalog[vd.spec_index].qp_count));
+    EXPECT_LE(vd.qps.size(), static_cast<size_t>(kMaxQpPerVd));
+  }
+}
+
+TEST(FleetTest, QpBindingIsRoundRobinPerNode) {
+  const Fleet fleet = BuildFleet(SmallConfig());
+  for (const Qp& qp : fleet.qps) {
+    EXPECT_TRUE(qp.bound_wt.valid());
+    const WorkerThread& wt = fleet.wts[qp.bound_wt.value()];
+    EXPECT_EQ(wt.node, qp.node);
+  }
+  // Round-robin: on every node, WT load counts differ by at most 1.
+  for (const ComputeNode& node : fleet.nodes) {
+    size_t min_count = SIZE_MAX;
+    size_t max_count = 0;
+    for (const WorkerThreadId wt : node.wts) {
+      const size_t count = fleet.wts[wt.value()].bound_qps.size();
+      min_count = std::min(min_count, count);
+      max_count = std::max(max_count, count);
+    }
+    EXPECT_LE(max_count - min_count, 1u);
+  }
+}
+
+TEST(FleetTest, SegmentsOfOneVdSpreadAcrossServers) {
+  const Fleet fleet = BuildFleet(SmallConfig());
+  for (const Vd& vd : fleet.vds) {
+    std::set<uint32_t> servers;
+    for (const SegmentId seg : vd.segments) {
+      servers.insert(fleet.segments[seg.value()].server.value());
+    }
+    const size_t cluster_size =
+        fleet.storage_clusters[fleet.block_servers[*servers.begin()].cluster.value()]
+            .nodes.size();
+    // Distinct servers unless the VD has more segments than the cluster.
+    EXPECT_EQ(servers.size(), std::min(vd.segments.size(), cluster_size));
+  }
+}
+
+TEST(FleetTest, VdSegmentsStayInOneCluster) {
+  const Fleet fleet = BuildFleet(SmallConfig());
+  for (const Vd& vd : fleet.vds) {
+    std::set<uint32_t> clusters;
+    for (const SegmentId seg : vd.segments) {
+      const BlockServer& bs = fleet.block_servers[fleet.segments[seg.value()].server.value()];
+      clusters.insert(bs.cluster.value());
+    }
+    EXPECT_EQ(clusters.size(), 1u);
+  }
+}
+
+TEST(FleetTest, BareMetalNodesHostOneVm) {
+  const Fleet fleet = BuildFleet(SmallConfig());
+  size_t bare_metal = 0;
+  for (const ComputeNode& node : fleet.nodes) {
+    if (node.bare_metal) {
+      ++bare_metal;
+      EXPECT_EQ(node.vms.size(), 1u);
+    } else {
+      EXPECT_GE(node.vms.size(), 1u);
+      EXPECT_LE(node.vms.size(), static_cast<size_t>(fleet.config.max_vms_per_node));
+    }
+  }
+  EXPECT_GT(bare_metal, 0u);
+}
+
+TEST(FleetTest, SegmentForOffsetMapsCorrectly) {
+  const Fleet fleet = BuildFleet(SmallConfig());
+  const Vd& vd = fleet.vds[0];
+  EXPECT_EQ(fleet.SegmentForOffset(vd.id, 0), vd.segments[0]);
+  if (vd.segments.size() > 1) {
+    EXPECT_EQ(fleet.SegmentForOffset(vd.id, kSegmentBytes), vd.segments[1]);
+    EXPECT_EQ(fleet.SegmentForOffset(vd.id, kSegmentBytes - 1), vd.segments[0]);
+  }
+  EXPECT_EQ(fleet.SegmentForOffset(vd.id, vd.capacity_bytes - 1), vd.segments.back());
+}
+
+TEST(FleetTest, TotalCapacityIsSumOfVds) {
+  const Fleet fleet = BuildFleet(SmallConfig());
+  uint64_t total = 0;
+  for (const Vd& vd : fleet.vds) {
+    total += vd.capacity_bytes;
+  }
+  EXPECT_EQ(fleet.TotalCapacityBytes(), total);
+}
+
+TEST(FleetTest, StorageScaffoldingConsistent) {
+  const Fleet fleet = BuildFleet(SmallConfig());
+  EXPECT_EQ(fleet.storage_nodes.size(), fleet.block_servers.size());
+  for (const StorageNode& node : fleet.storage_nodes) {
+    EXPECT_EQ(fleet.block_servers[node.block_server.value()].node, node.id);
+  }
+  size_t total = 0;
+  for (const StorageCluster& cluster : fleet.storage_clusters) {
+    total += cluster.nodes.size();
+  }
+  EXPECT_EQ(total, fleet.storage_nodes.size());
+}
+
+TEST(SpecCatalogTest, CapsGrowWithCapacity) {
+  const auto catalog = DefaultSpecCatalog();
+  for (size_t i = 1; i < catalog.size(); ++i) {
+    EXPECT_GT(catalog[i].capacity_bytes, catalog[i - 1].capacity_bytes);
+    EXPECT_GE(catalog[i].throughput_cap_mbps, catalog[i - 1].throughput_cap_mbps);
+    EXPECT_GE(catalog[i].qp_count, catalog[i - 1].qp_count);
+  }
+}
+
+TEST(AppTypeTest, NamesDistinct) {
+  std::set<std::string> names;
+  for (int i = 0; i < kAppTypeCount; ++i) {
+    names.insert(AppTypeName(static_cast<AppType>(i)));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kAppTypeCount));
+}
+
+TEST(LatencyTest, BreakdownTotalSumsComponents) {
+  LatencyBreakdown breakdown;
+  for (int c = 0; c < kStackComponentCount; ++c) {
+    breakdown.component_us[c] = static_cast<double>(c + 1);
+  }
+  EXPECT_DOUBLE_EQ(breakdown.Total(), 15.0);
+}
+
+TEST(LatencyTest, CacheHitsSkipDeeperComponents) {
+  Rng rng(1);
+  const LatencyModel model;
+  const LatencyBreakdown sample = model.Sample(OpType::kRead, rng);
+  const double flash = 10.0;
+  EXPECT_LT(sample.TotalWithCnCacheHit(flash), sample.TotalWithBsCacheHit(flash));
+  EXPECT_LT(sample.TotalWithBsCacheHit(flash), sample.Total() + flash);
+}
+
+TEST(LatencyTest, AllComponentsPositive) {
+  Rng rng(2);
+  const LatencyModel model;
+  for (int i = 0; i < 1000; ++i) {
+    const LatencyBreakdown sample = model.Sample(OpType::kWrite, rng);
+    for (const double us : sample.component_us) {
+      EXPECT_GT(us, 0.0);
+    }
+  }
+}
+
+TEST(LatencyTest, WritesSlowerOnAverage) {
+  Rng rng(3);
+  const LatencyModel model;
+  double reads = 0.0;
+  double writes = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    reads += model.Sample(OpType::kRead, rng).Total();
+    writes += model.Sample(OpType::kWrite, rng).Total();
+  }
+  EXPECT_GT(writes, reads);
+}
+
+TEST(LatencyTest, StragglersStretchTail) {
+  Rng rng(4);
+  LatencyModelConfig no_straggler;
+  no_straggler.straggler_probability = 0.0;
+  LatencyModelConfig with_straggler;
+  with_straggler.straggler_probability = 0.05;
+  const LatencyModel calm(no_straggler);
+  const LatencyModel spiky(with_straggler);
+  double calm_max = 0.0;
+  double spiky_max = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    calm_max = std::max(calm_max, calm.Sample(OpType::kRead, rng).Total());
+    spiky_max = std::max(spiky_max, spiky.Sample(OpType::kRead, rng).Total());
+  }
+  EXPECT_GT(spiky_max, calm_max * 2.0);
+}
+
+TEST(LatencyTest, ComponentNames) {
+  EXPECT_STREQ(StackComponentName(StackComponent::kComputeNode), "compute-node");
+  EXPECT_STREQ(StackComponentName(StackComponent::kChunkServer), "chunk-server");
+  EXPECT_STREQ(OpTypeName(OpType::kRead), "read");
+  EXPECT_STREQ(OpTypeName(OpType::kWrite), "write");
+}
+
+}  // namespace
+}  // namespace ebs

@@ -1,0 +1,181 @@
+// Tests for the dataset schemas, rollups and trace aggregation.
+
+#include <gtest/gtest.h>
+
+#include "src/topology/fleet.h"
+#include "src/trace/aggregate.h"
+#include "src/trace/records.h"
+#include "src/util/rng.h"
+#include "src/workload/generator.h"
+
+namespace ebs {
+namespace {
+
+class TraceFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    FleetConfig fleet_config;
+    fleet_config.seed = 77;
+    fleet_config.user_count = 30;
+    fleet_ = new Fleet(BuildFleet(fleet_config));
+    WorkloadConfig workload_config;
+    workload_config.seed = 99;
+    workload_config.window_steps = 120;
+    result_ = new WorkloadResult(WorkloadGenerator(*fleet_, workload_config).Generate());
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete fleet_;
+    result_ = nullptr;
+    fleet_ = nullptr;
+  }
+
+  static Fleet* fleet_;
+  static WorkloadResult* result_;
+};
+
+Fleet* TraceFixture::fleet_ = nullptr;
+WorkloadResult* TraceFixture::result_ = nullptr;
+
+TEST(RwSeriesTest, AccumulateAddsAllFour) {
+  RwSeries a(3, 1.0);
+  RwSeries b(3, 1.0);
+  a.read_bytes[0] = 1.0;
+  b.read_bytes[0] = 2.0;
+  b.write_ops[2] = 5.0;
+  a.Accumulate(b);
+  EXPECT_DOUBLE_EQ(a.read_bytes[0], 3.0);
+  EXPECT_DOUBLE_EQ(a.write_ops[2], 5.0);
+}
+
+TEST(RwSeriesTest, OpSelectors) {
+  RwSeries series(2, 1.0);
+  series.MutableBytes(OpType::kRead)[0] = 1.0;
+  series.MutableBytes(OpType::kWrite)[0] = 2.0;
+  series.MutableOps(OpType::kRead)[1] = 3.0;
+  EXPECT_DOUBLE_EQ(series.Bytes(OpType::kRead)[0], 1.0);
+  EXPECT_DOUBLE_EQ(series.Bytes(OpType::kWrite)[0], 2.0);
+  EXPECT_DOUBLE_EQ(series.Ops(OpType::kRead)[1], 3.0);
+  EXPECT_DOUBLE_EQ(series.TotalBytes(), 3.0);
+}
+
+TEST(MetricDatasetTest, SegmentSeriesCreatedLazily) {
+  MetricDataset metrics;
+  metrics.window_steps = 4;
+  metrics.step_seconds = 1.0;
+  EXPECT_EQ(metrics.SegmentSeries(SegmentId(7)), nullptr);
+  RwSeries& series = metrics.MutableSegmentSeries(SegmentId(7));
+  series.read_bytes[0] = 1.0;
+  ASSERT_NE(metrics.SegmentSeries(SegmentId(7)), nullptr);
+  EXPECT_DOUBLE_EQ(metrics.SegmentSeries(SegmentId(7))->read_bytes[0], 1.0);
+  // Second access returns the same series.
+  metrics.MutableSegmentSeries(SegmentId(7)).read_bytes[0] += 1.0;
+  EXPECT_DOUBLE_EQ(metrics.SegmentSeries(SegmentId(7))->read_bytes[0], 2.0);
+}
+
+TEST_F(TraceFixture, RollupsConserveTotals) {
+  const MetricDataset& metrics = result_->metrics;
+  double qp_total = 0.0;
+  for (const RwSeries& series : metrics.qp_series) {
+    qp_total += series.TotalBytes();
+  }
+  for (const auto rollup :
+       {RollupToVd, RollupToVm, RollupToUser, RollupToWt, RollupToComputeNode}) {
+    double total = 0.0;
+    for (const RwSeries& series : rollup(*fleet_, metrics)) {
+      total += series.TotalBytes();
+    }
+    EXPECT_NEAR(total, qp_total, qp_total * 1e-9);
+  }
+}
+
+TEST_F(TraceFixture, StorageRollupsConserveSegmentTotals) {
+  const MetricDataset& metrics = result_->metrics;
+  double seg_total = 0.0;
+  for (const auto& [key, series] : metrics.segment_series) {
+    seg_total += series.TotalBytes();
+  }
+  for (const auto rollup : {RollupToBlockServer, RollupToStorageNode}) {
+    double total = 0.0;
+    for (const RwSeries& series : rollup(*fleet_, metrics)) {
+      total += series.TotalBytes();
+    }
+    EXPECT_NEAR(total, seg_total, seg_total * 1e-9);
+  }
+}
+
+TEST_F(TraceFixture, ComputeAndStorageDomainsAgree) {
+  // Segment traffic is derived from the same delivered per-VD traffic as QP
+  // traffic, so the two domains must total the same bytes.
+  const MetricDataset& metrics = result_->metrics;
+  double qp_total = 0.0;
+  for (const RwSeries& series : metrics.qp_series) {
+    qp_total += series.TotalBytes();
+  }
+  double seg_total = 0.0;
+  for (const auto& [key, series] : metrics.segment_series) {
+    seg_total += series.TotalBytes();
+  }
+  EXPECT_NEAR(seg_total, qp_total, qp_total * 1e-6);
+}
+
+TEST_F(TraceFixture, TraceRecordsReferenceConsistentEntities) {
+  for (const TraceRecord& r : result_->traces.records) {
+    const Qp& qp = fleet_->qps[r.qp.value()];
+    EXPECT_EQ(qp.vd, r.vd);
+    EXPECT_EQ(qp.vm, r.vm);
+    EXPECT_EQ(qp.node, r.cn);
+    EXPECT_EQ(qp.bound_wt, r.wt);
+    EXPECT_EQ(fleet_->vms[r.vm.value()].user, r.user);
+    EXPECT_EQ(fleet_->SegmentForOffset(r.vd, r.offset), r.segment);
+    EXPECT_EQ(fleet_->segments[r.segment.value()].server, r.bs);
+    EXPECT_EQ(fleet_->block_servers[r.bs.value()].node, r.sn);
+  }
+}
+
+TEST_F(TraceFixture, TracesSortedByTimestamp) {
+  const auto& records = result_->traces.records;
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1].timestamp, records[i].timestamp);
+  }
+}
+
+TEST_F(TraceFixture, TraceCountsSplitByOp) {
+  const TraceDataset& traces = result_->traces;
+  EXPECT_EQ(traces.CountOps(OpType::kRead) + traces.CountOps(OpType::kWrite),
+            traces.records.size());
+  EXPECT_GT(traces.CountOps(OpType::kWrite), traces.CountOps(OpType::kRead));
+}
+
+TEST_F(TraceFixture, SampledBytesPositive) {
+  EXPECT_GT(result_->traces.SampledBytes(OpType::kWrite), 0.0);
+  EXPECT_GT(result_->traces.SampledBytes(OpType::kRead), 0.0);
+}
+
+TEST_F(TraceFixture, AggregateTracesApproximatesMetrics) {
+  // Scaling sampled traces by 1/rate should land near the true delivered
+  // volume (law of large numbers; tolerance is generous).
+  const MetricDataset rebuilt = AggregateTraces(
+      *fleet_, result_->traces, result_->metrics.step_seconds, result_->metrics.window_steps);
+  double rebuilt_total = 0.0;
+  for (const RwSeries& series : rebuilt.qp_series) {
+    rebuilt_total += series.TotalBytes();
+  }
+  double true_total = 0.0;
+  for (const RwSeries& series : result_->metrics.qp_series) {
+    true_total += series.TotalBytes();
+  }
+  EXPECT_NEAR(rebuilt_total, true_total, true_total * 0.15);
+}
+
+TEST_F(TraceFixture, DownsampleKeepsApproximateFraction) {
+  Rng rng(5);
+  const TraceDataset thinned = DownsampleTraces(result_->traces, 0.25, rng);
+  const double fraction = static_cast<double>(thinned.records.size()) /
+                          static_cast<double>(result_->traces.records.size());
+  EXPECT_NEAR(fraction, 0.25, 0.02);
+  EXPECT_DOUBLE_EQ(thinned.sampling_rate, result_->traces.sampling_rate * 0.25);
+}
+
+}  // namespace
+}  // namespace ebs

@@ -1,0 +1,190 @@
+#include "src/util/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace ebs {
+namespace {
+
+TEST(ZipfTest, SamplesWithinRange) {
+  Rng rng(1);
+  const ZipfDistribution zipf(100, 1.1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 100u);
+  }
+}
+
+TEST(ZipfTest, SingleElement) {
+  Rng rng(2);
+  const ZipfDistribution zipf(1, 1.5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf.Sample(rng), 0u);
+  }
+}
+
+TEST(ZipfTest, RankZeroIsMostPopular) {
+  Rng rng(3);
+  const ZipfDistribution zipf(50, 1.2);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[5]);
+  EXPECT_GT(counts[0], counts[49] * 10);
+}
+
+TEST(ZipfTest, FrequenciesMatchPmf) {
+  Rng rng(4);
+  const double alpha = 1.0;
+  const uint64_t n = 20;
+  const ZipfDistribution zipf(n, alpha);
+  std::vector<int> counts(n, 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  double h = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    h += 1.0 / std::pow(static_cast<double>(k), alpha);
+  }
+  for (uint64_t k = 0; k < n; ++k) {
+    const double expected = 1.0 / std::pow(static_cast<double>(k + 1), alpha) / h;
+    EXPECT_NEAR(static_cast<double>(counts[k]) / draws, expected, 0.01)
+        << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, HigherAlphaConcentratesMass) {
+  Rng rng(5);
+  const ZipfDistribution flat(1000, 0.8);
+  const ZipfDistribution steep(1000, 1.8);
+  double flat_mean = 0.0;
+  double steep_mean = 0.0;
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) {
+    flat_mean += static_cast<double>(flat.Sample(rng));
+    steep_mean += static_cast<double>(steep.Sample(rng));
+  }
+  EXPECT_LT(steep_mean, flat_mean * 0.2);
+}
+
+TEST(ZipfTest, HugeDomainWorks) {
+  Rng rng(6);
+  const ZipfDistribution zipf(1ULL << 40, 1.1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 1ULL << 40);
+  }
+}
+
+TEST(ParetoTest, SamplesAboveScale) {
+  Rng rng(7);
+  const ParetoDistribution pareto(2.0, 1.5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(pareto.Sample(rng), 2.0);
+  }
+}
+
+TEST(ParetoTest, EmpiricalMedianMatchesTheory) {
+  Rng rng(8);
+  const ParetoDistribution pareto(1.0, 2.0);
+  std::vector<double> samples;
+  for (int i = 0; i < 100000; ++i) {
+    samples.push_back(pareto.Sample(rng));
+  }
+  std::sort(samples.begin(), samples.end());
+  // Median of Pareto(x_m, alpha) = x_m * 2^(1/alpha).
+  EXPECT_NEAR(samples[samples.size() / 2], std::pow(2.0, 0.5), 0.02);
+}
+
+TEST(ParetoTest, MeanFormula) {
+  const ParetoDistribution pareto(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(pareto.Mean(), 3.0);
+  const ParetoDistribution heavy(1.0, 0.9);
+  EXPECT_TRUE(std::isinf(heavy.Mean()));
+}
+
+TEST(LognormalTest, EmpiricalMeanMatchesFormula) {
+  Rng rng(9);
+  const LognormalDistribution dist(1.0, 0.5);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += dist.Sample(rng);
+  }
+  EXPECT_NEAR(sum / n, dist.Mean(), dist.Mean() * 0.02);
+}
+
+TEST(LognormalTest, AllPositive) {
+  Rng rng(10);
+  const LognormalDistribution dist(-2.0, 2.0);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(dist.Sample(rng), 0.0);
+  }
+}
+
+TEST(CategoricalTest, RespectsWeights) {
+  Rng rng(11);
+  const CategoricalDistribution dist({1.0, 2.0, 7.0});
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[dist.Sample(rng)];
+  }
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.2, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.7, 0.01);
+}
+
+TEST(CategoricalTest, ZeroWeightNeverSampled) {
+  Rng rng(12);
+  const CategoricalDistribution dist({1.0, 0.0, 1.0});
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_NE(dist.Sample(rng), 1u);
+  }
+}
+
+TEST(CategoricalTest, SingleCategory) {
+  Rng rng(13);
+  const CategoricalDistribution dist({5.0});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(dist.Sample(rng), 0u);
+  }
+}
+
+TEST(CategoricalTest, UnnormalizedWeightsWork) {
+  Rng rng(14);
+  const CategoricalDistribution dist({100.0, 300.0});
+  int zero = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    zero += dist.Sample(rng) == 0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(zero) / n, 0.25, 0.01);
+}
+
+TEST(SampleCountLognormalTest, ClampsToRange) {
+  Rng rng(15);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t count = SampleCountLognormal(rng, 0.0, 3.0, 2, 10);
+    EXPECT_GE(count, 2u);
+    EXPECT_LE(count, 10u);
+  }
+}
+
+TEST(SampleCountLognormalTest, MedianNearExpMu) {
+  Rng rng(16);
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 20001; ++i) {
+    samples.push_back(SampleCountLognormal(rng, std::log(5.0), 0.4, 1, 1000));
+  }
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2, samples.end());
+  EXPECT_NEAR(static_cast<double>(samples[samples.size() / 2]), 5.0, 1.0);
+}
+
+}  // namespace
+}  // namespace ebs

@@ -1,0 +1,209 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace ebs {
+namespace {
+
+TEST(StatsTest, SumAndMean) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Sum(v), 10.0);
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{}), 0.0);
+}
+
+TEST(StatsTest, VarianceKnownValues) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Variance(v), 4.0);
+  EXPECT_DOUBLE_EQ(StdDev(v), 2.0);
+}
+
+TEST(StatsTest, VarianceDegenerate) {
+  EXPECT_DOUBLE_EQ(Variance(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance(std::vector<double>{5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance(std::vector<double>{3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(StatsTest, CoefficientOfVariation) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(CoefficientOfVariation(v), 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(CoefficientOfVariation(std::vector<double>{0.0, 0.0}), 0.0);
+}
+
+TEST(StatsTest, NormalizedCovAllMassOnOneIsOne) {
+  const std::vector<double> v = {10.0, 0.0, 0.0, 0.0};
+  EXPECT_NEAR(NormalizedCoV(v), 1.0, 1e-12);
+}
+
+TEST(StatsTest, NormalizedCovBalancedIsZero) {
+  const std::vector<double> v = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(NormalizedCoV(v), 0.0);
+}
+
+TEST(StatsTest, NormalizedCovWithinUnitInterval) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> v(2 + rng.NextBounded(20));
+    for (double& x : v) {
+      x = rng.NextDouble() * 100.0;
+    }
+    const double cov = NormalizedCoV(v);
+    EXPECT_GE(cov, 0.0);
+    EXPECT_LE(cov, 1.0);
+  }
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25.0), 17.5);
+}
+
+TEST(StatsTest, PercentileUnsortedInput) {
+  const std::vector<double> v = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 25.0);
+}
+
+TEST(StatsTest, PercentileEdgeCases) {
+  EXPECT_DOUBLE_EQ(Percentile(std::vector<double>{}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile(std::vector<double>{7.0}, 99.0), 7.0);
+  // Out-of-range pct is clamped.
+  EXPECT_DOUBLE_EQ(Percentile(std::vector<double>{1.0, 2.0}, 150.0), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile(std::vector<double>{1.0, 2.0}, -5.0), 1.0);
+}
+
+TEST(StatsTest, PercentileSortedAgreesWithPercentile) {
+  const std::vector<double> sorted = {1.0, 2.0, 5.0, 9.0, 12.0};
+  for (const double pct : {0.0, 10.0, 33.0, 50.0, 75.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(PercentileSorted(sorted, pct), Percentile(sorted, pct));
+  }
+}
+
+TEST(StatsTest, MeanSquaredError) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 4.0, 3.0};
+  EXPECT_DOUBLE_EQ(MeanSquaredError(a, b), 4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(MeanSquaredError(a, a), 0.0);
+}
+
+TEST(StatsTest, CcrTopOneOfEqualEntities) {
+  const std::vector<double> v(100, 1.0);
+  EXPECT_NEAR(Ccr(v, 0.01), 0.01, 1e-12);
+  EXPECT_NEAR(Ccr(v, 0.20), 0.20, 1e-12);
+}
+
+TEST(StatsTest, CcrFullyConcentrated) {
+  std::vector<double> v(100, 0.0);
+  v[42] = 10.0;
+  EXPECT_DOUBLE_EQ(Ccr(v, 0.01), 1.0);
+}
+
+TEST(StatsTest, CcrMonotonicInFraction) {
+  Rng rng(2);
+  std::vector<double> v(50);
+  for (double& x : v) {
+    x = rng.NextDouble();
+  }
+  double prev = 0.0;
+  for (const double f : {0.01, 0.1, 0.2, 0.5, 1.0}) {
+    const double ccr = Ccr(v, f);
+    EXPECT_GE(ccr, prev);
+    prev = ccr;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-12);
+}
+
+TEST(StatsTest, CcrCountsAtLeastOneEntity) {
+  const std::vector<double> v = {1.0, 3.0};
+  // 1% of 2 entities rounds to 0 but at least the top entity counts.
+  EXPECT_DOUBLE_EQ(Ccr(v, 0.01), 0.75);
+}
+
+TEST(StatsTest, CcrZeroTraffic) {
+  EXPECT_DOUBLE_EQ(Ccr(std::vector<double>{0.0, 0.0}, 0.2), 0.0);
+  EXPECT_DOUBLE_EQ(Ccr(std::vector<double>{}, 0.2), 0.0);
+}
+
+TEST(StatsTest, PeakToAverage) {
+  const std::vector<double> v = {0.0, 0.0, 10.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(PeakToAverage(v), 5.0);
+  EXPECT_DOUBLE_EQ(PeakToAverage(std::vector<double>{3.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(PeakToAverage(std::vector<double>{0.0, 0.0}), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchComputation) {
+  Rng rng(3);
+  std::vector<double> v(1000);
+  RunningStats stats;
+  for (double& x : v) {
+    x = rng.NextGaussian() * 3.0 + 7.0;
+    stats.Add(x);
+  }
+  EXPECT_EQ(stats.count(), v.size());
+  EXPECT_NEAR(stats.mean(), Mean(v), 1e-9);
+  EXPECT_NEAR(stats.variance(), Variance(v), 1e-9);
+  EXPECT_DOUBLE_EQ(stats.min(), *std::min_element(v.begin(), v.end()));
+  EXPECT_DOUBLE_EQ(stats.max(), *std::max_element(v.begin(), v.end()));
+}
+
+TEST(RunningStatsTest, MergeEqualsCombined) {
+  Rng rng(4);
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.NextDouble() * 10.0;
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.Add(5.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  RunningStats target;
+  target.Merge(a);
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_DOUBLE_EQ(target.mean(), 5.0);
+}
+
+TEST(FitLineTest, ExactLine) {
+  std::vector<double> v(10);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = 3.0 + 2.0 * static_cast<double>(i);
+  }
+  const LinearFitResult fit = FitLine(v);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+}
+
+TEST(FitLineTest, ConstantSeries) {
+  const std::vector<double> v = {4.0, 4.0, 4.0};
+  const LinearFitResult fit = FitLine(v);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+}
+
+TEST(FitLineTest, Degenerate) {
+  EXPECT_DOUBLE_EQ(FitLine(std::vector<double>{}).slope, 0.0);
+  const LinearFitResult one = FitLine(std::vector<double>{9.0});
+  EXPECT_DOUBLE_EQ(one.intercept, 9.0);
+  EXPECT_DOUBLE_EQ(one.slope, 0.0);
+}
+
+}  // namespace
+}  // namespace ebs
