@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_balancer.dir/bench_ablation_balancer.cc.o"
+  "CMakeFiles/bench_ablation_balancer.dir/bench_ablation_balancer.cc.o.d"
+  "bench_ablation_balancer"
+  "bench_ablation_balancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

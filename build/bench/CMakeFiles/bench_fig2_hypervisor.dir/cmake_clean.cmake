@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_hypervisor.dir/bench_fig2_hypervisor.cc.o"
+  "CMakeFiles/bench_fig2_hypervisor.dir/bench_fig2_hypervisor.cc.o.d"
+  "bench_fig2_hypervisor"
+  "bench_fig2_hypervisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_hypervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_rebinding.dir/bench_fig2_rebinding.cc.o"
+  "CMakeFiles/bench_fig2_rebinding.dir/bench_fig2_rebinding.cc.o.d"
+  "bench_fig2_rebinding"
+  "bench_fig2_rebinding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_rebinding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

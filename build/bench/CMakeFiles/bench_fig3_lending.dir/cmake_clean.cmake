@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_lending.dir/bench_fig3_lending.cc.o"
+  "CMakeFiles/bench_fig3_lending.dir/bench_fig3_lending.cc.o.d"
+  "bench_fig3_lending"
+  "bench_fig3_lending.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_lending.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_throttle.dir/bench_fig3_throttle.cc.o"
+  "CMakeFiles/bench_fig3_throttle.dir/bench_fig3_throttle.cc.o.d"
+  "bench_fig3_throttle"
+  "bench_fig3_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

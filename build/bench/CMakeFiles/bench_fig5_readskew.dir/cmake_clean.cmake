@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_readskew.dir/bench_fig5_readskew.cc.o"
+  "CMakeFiles/bench_fig5_readskew.dir/bench_fig5_readskew.cc.o.d"
+  "bench_fig5_readskew"
+  "bench_fig5_readskew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_readskew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

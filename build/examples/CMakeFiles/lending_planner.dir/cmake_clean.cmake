@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lending_planner.dir/lending_planner.cpp.o"
+  "CMakeFiles/lending_planner.dir/lending_planner.cpp.o.d"
+  "lending_planner"
+  "lending_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lending_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

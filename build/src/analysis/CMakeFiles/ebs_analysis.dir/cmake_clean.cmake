@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebs_analysis.dir/latency.cc.o"
+  "CMakeFiles/ebs_analysis.dir/latency.cc.o.d"
+  "CMakeFiles/ebs_analysis.dir/skewness.cc.o"
+  "CMakeFiles/ebs_analysis.dir/skewness.cc.o.d"
+  "libebs_analysis.a"
+  "libebs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/balancer/balancer.cc" "src/balancer/CMakeFiles/ebs_balancer.dir/balancer.cc.o" "gcc" "src/balancer/CMakeFiles/ebs_balancer.dir/balancer.cc.o.d"
+  "/root/repo/src/balancer/prediction.cc" "src/balancer/CMakeFiles/ebs_balancer.dir/prediction.cc.o" "gcc" "src/balancer/CMakeFiles/ebs_balancer.dir/prediction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/ebs_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ebs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ebs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ebs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

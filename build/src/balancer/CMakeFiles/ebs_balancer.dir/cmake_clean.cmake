@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebs_balancer.dir/balancer.cc.o"
+  "CMakeFiles/ebs_balancer.dir/balancer.cc.o.d"
+  "CMakeFiles/ebs_balancer.dir/prediction.cc.o"
+  "CMakeFiles/ebs_balancer.dir/prediction.cc.o.d"
+  "libebs_balancer.a"
+  "libebs_balancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebs_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libebs_balancer.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/hotspot.cc" "src/cache/CMakeFiles/ebs_cache.dir/hotspot.cc.o" "gcc" "src/cache/CMakeFiles/ebs_cache.dir/hotspot.cc.o.d"
+  "/root/repo/src/cache/hybrid.cc" "src/cache/CMakeFiles/ebs_cache.dir/hybrid.cc.o" "gcc" "src/cache/CMakeFiles/ebs_cache.dir/hybrid.cc.o.d"
+  "/root/repo/src/cache/location.cc" "src/cache/CMakeFiles/ebs_cache.dir/location.cc.o" "gcc" "src/cache/CMakeFiles/ebs_cache.dir/location.cc.o.d"
+  "/root/repo/src/cache/policy.cc" "src/cache/CMakeFiles/ebs_cache.dir/policy.cc.o" "gcc" "src/cache/CMakeFiles/ebs_cache.dir/policy.cc.o.d"
+  "/root/repo/src/cache/prefetch.cc" "src/cache/CMakeFiles/ebs_cache.dir/prefetch.cc.o" "gcc" "src/cache/CMakeFiles/ebs_cache.dir/prefetch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ebs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ebs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ebs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ebs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebs_cache.dir/hotspot.cc.o"
+  "CMakeFiles/ebs_cache.dir/hotspot.cc.o.d"
+  "CMakeFiles/ebs_cache.dir/hybrid.cc.o"
+  "CMakeFiles/ebs_cache.dir/hybrid.cc.o.d"
+  "CMakeFiles/ebs_cache.dir/location.cc.o"
+  "CMakeFiles/ebs_cache.dir/location.cc.o.d"
+  "CMakeFiles/ebs_cache.dir/policy.cc.o"
+  "CMakeFiles/ebs_cache.dir/policy.cc.o.d"
+  "CMakeFiles/ebs_cache.dir/prefetch.cc.o"
+  "CMakeFiles/ebs_cache.dir/prefetch.cc.o.d"
+  "libebs_cache.a"
+  "libebs_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebs_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

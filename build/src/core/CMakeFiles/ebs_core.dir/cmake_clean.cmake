@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebs_core.dir/simulation.cc.o"
+  "CMakeFiles/ebs_core.dir/simulation.cc.o.d"
+  "CMakeFiles/ebs_core.dir/validate.cc.o"
+  "CMakeFiles/ebs_core.dir/validate.cc.o.d"
+  "libebs_core.a"
+  "libebs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebs_hypervisor.dir/fairness.cc.o"
+  "CMakeFiles/ebs_hypervisor.dir/fairness.cc.o.d"
+  "CMakeFiles/ebs_hypervisor.dir/rebinding.cc.o"
+  "CMakeFiles/ebs_hypervisor.dir/rebinding.cc.o.d"
+  "CMakeFiles/ebs_hypervisor.dir/wt_balance.cc.o"
+  "CMakeFiles/ebs_hypervisor.dir/wt_balance.cc.o.d"
+  "libebs_hypervisor.a"
+  "libebs_hypervisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebs_hypervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

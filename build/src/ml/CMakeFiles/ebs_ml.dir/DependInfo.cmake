@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/arima.cc" "src/ml/CMakeFiles/ebs_ml.dir/arima.cc.o" "gcc" "src/ml/CMakeFiles/ebs_ml.dir/arima.cc.o.d"
+  "/root/repo/src/ml/attention.cc" "src/ml/CMakeFiles/ebs_ml.dir/attention.cc.o" "gcc" "src/ml/CMakeFiles/ebs_ml.dir/attention.cc.o.d"
+  "/root/repo/src/ml/gbt.cc" "src/ml/CMakeFiles/ebs_ml.dir/gbt.cc.o" "gcc" "src/ml/CMakeFiles/ebs_ml.dir/gbt.cc.o.d"
+  "/root/repo/src/ml/linalg.cc" "src/ml/CMakeFiles/ebs_ml.dir/linalg.cc.o" "gcc" "src/ml/CMakeFiles/ebs_ml.dir/linalg.cc.o.d"
+  "/root/repo/src/ml/predictor.cc" "src/ml/CMakeFiles/ebs_ml.dir/predictor.cc.o" "gcc" "src/ml/CMakeFiles/ebs_ml.dir/predictor.cc.o.d"
+  "/root/repo/src/ml/tensor.cc" "src/ml/CMakeFiles/ebs_ml.dir/tensor.cc.o" "gcc" "src/ml/CMakeFiles/ebs_ml.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ebs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

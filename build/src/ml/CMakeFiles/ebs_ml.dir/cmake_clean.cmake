@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebs_ml.dir/arima.cc.o"
+  "CMakeFiles/ebs_ml.dir/arima.cc.o.d"
+  "CMakeFiles/ebs_ml.dir/attention.cc.o"
+  "CMakeFiles/ebs_ml.dir/attention.cc.o.d"
+  "CMakeFiles/ebs_ml.dir/gbt.cc.o"
+  "CMakeFiles/ebs_ml.dir/gbt.cc.o.d"
+  "CMakeFiles/ebs_ml.dir/linalg.cc.o"
+  "CMakeFiles/ebs_ml.dir/linalg.cc.o.d"
+  "CMakeFiles/ebs_ml.dir/predictor.cc.o"
+  "CMakeFiles/ebs_ml.dir/predictor.cc.o.d"
+  "CMakeFiles/ebs_ml.dir/tensor.cc.o"
+  "CMakeFiles/ebs_ml.dir/tensor.cc.o.d"
+  "libebs_ml.a"
+  "libebs_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebs_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

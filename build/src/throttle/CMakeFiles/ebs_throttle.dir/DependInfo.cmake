@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/throttle/throttle.cc" "src/throttle/CMakeFiles/ebs_throttle.dir/throttle.cc.o" "gcc" "src/throttle/CMakeFiles/ebs_throttle.dir/throttle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ebs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ebs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ebs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ebs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebs_throttle.dir/throttle.cc.o"
+  "CMakeFiles/ebs_throttle.dir/throttle.cc.o.d"
+  "libebs_throttle.a"
+  "libebs_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebs_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

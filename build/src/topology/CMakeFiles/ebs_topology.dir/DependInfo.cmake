@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/entities.cc" "src/topology/CMakeFiles/ebs_topology.dir/entities.cc.o" "gcc" "src/topology/CMakeFiles/ebs_topology.dir/entities.cc.o.d"
+  "/root/repo/src/topology/fleet.cc" "src/topology/CMakeFiles/ebs_topology.dir/fleet.cc.o" "gcc" "src/topology/CMakeFiles/ebs_topology.dir/fleet.cc.o.d"
+  "/root/repo/src/topology/latency.cc" "src/topology/CMakeFiles/ebs_topology.dir/latency.cc.o" "gcc" "src/topology/CMakeFiles/ebs_topology.dir/latency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ebs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

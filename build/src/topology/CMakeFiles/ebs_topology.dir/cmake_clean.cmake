@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebs_topology.dir/entities.cc.o"
+  "CMakeFiles/ebs_topology.dir/entities.cc.o.d"
+  "CMakeFiles/ebs_topology.dir/fleet.cc.o"
+  "CMakeFiles/ebs_topology.dir/fleet.cc.o.d"
+  "CMakeFiles/ebs_topology.dir/latency.cc.o"
+  "CMakeFiles/ebs_topology.dir/latency.cc.o.d"
+  "libebs_topology.a"
+  "libebs_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebs_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/aggregate.cc" "src/trace/CMakeFiles/ebs_trace.dir/aggregate.cc.o" "gcc" "src/trace/CMakeFiles/ebs_trace.dir/aggregate.cc.o.d"
+  "/root/repo/src/trace/csv_export.cc" "src/trace/CMakeFiles/ebs_trace.dir/csv_export.cc.o" "gcc" "src/trace/CMakeFiles/ebs_trace.dir/csv_export.cc.o.d"
+  "/root/repo/src/trace/gc_model.cc" "src/trace/CMakeFiles/ebs_trace.dir/gc_model.cc.o" "gcc" "src/trace/CMakeFiles/ebs_trace.dir/gc_model.cc.o.d"
+  "/root/repo/src/trace/records.cc" "src/trace/CMakeFiles/ebs_trace.dir/records.cc.o" "gcc" "src/trace/CMakeFiles/ebs_trace.dir/records.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/ebs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ebs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebs_trace.dir/aggregate.cc.o"
+  "CMakeFiles/ebs_trace.dir/aggregate.cc.o.d"
+  "CMakeFiles/ebs_trace.dir/csv_export.cc.o"
+  "CMakeFiles/ebs_trace.dir/csv_export.cc.o.d"
+  "CMakeFiles/ebs_trace.dir/gc_model.cc.o"
+  "CMakeFiles/ebs_trace.dir/gc_model.cc.o.d"
+  "CMakeFiles/ebs_trace.dir/records.cc.o"
+  "CMakeFiles/ebs_trace.dir/records.cc.o.d"
+  "libebs_trace.a"
+  "libebs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

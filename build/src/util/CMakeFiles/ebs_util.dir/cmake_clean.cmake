@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebs_util.dir/distributions.cc.o"
+  "CMakeFiles/ebs_util.dir/distributions.cc.o.d"
+  "CMakeFiles/ebs_util.dir/histogram.cc.o"
+  "CMakeFiles/ebs_util.dir/histogram.cc.o.d"
+  "CMakeFiles/ebs_util.dir/rng.cc.o"
+  "CMakeFiles/ebs_util.dir/rng.cc.o.d"
+  "CMakeFiles/ebs_util.dir/stats.cc.o"
+  "CMakeFiles/ebs_util.dir/stats.cc.o.d"
+  "CMakeFiles/ebs_util.dir/table.cc.o"
+  "CMakeFiles/ebs_util.dir/table.cc.o.d"
+  "CMakeFiles/ebs_util.dir/time_series.cc.o"
+  "CMakeFiles/ebs_util.dir/time_series.cc.o.d"
+  "libebs_util.a"
+  "libebs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_profile.cc" "src/workload/CMakeFiles/ebs_workload.dir/app_profile.cc.o" "gcc" "src/workload/CMakeFiles/ebs_workload.dir/app_profile.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/ebs_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/ebs_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/io_stream.cc" "src/workload/CMakeFiles/ebs_workload.dir/io_stream.cc.o" "gcc" "src/workload/CMakeFiles/ebs_workload.dir/io_stream.cc.o.d"
+  "/root/repo/src/workload/spatial.cc" "src/workload/CMakeFiles/ebs_workload.dir/spatial.cc.o" "gcc" "src/workload/CMakeFiles/ebs_workload.dir/spatial.cc.o.d"
+  "/root/repo/src/workload/temporal.cc" "src/workload/CMakeFiles/ebs_workload.dir/temporal.cc.o" "gcc" "src/workload/CMakeFiles/ebs_workload.dir/temporal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/ebs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ebs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ebs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

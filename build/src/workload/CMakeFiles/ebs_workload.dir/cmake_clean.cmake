@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ebs_workload.dir/app_profile.cc.o"
+  "CMakeFiles/ebs_workload.dir/app_profile.cc.o.d"
+  "CMakeFiles/ebs_workload.dir/generator.cc.o"
+  "CMakeFiles/ebs_workload.dir/generator.cc.o.d"
+  "CMakeFiles/ebs_workload.dir/io_stream.cc.o"
+  "CMakeFiles/ebs_workload.dir/io_stream.cc.o.d"
+  "CMakeFiles/ebs_workload.dir/spatial.cc.o"
+  "CMakeFiles/ebs_workload.dir/spatial.cc.o.d"
+  "CMakeFiles/ebs_workload.dir/temporal.cc.o"
+  "CMakeFiles/ebs_workload.dir/temporal.cc.o.d"
+  "libebs_workload.a"
+  "libebs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ebs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

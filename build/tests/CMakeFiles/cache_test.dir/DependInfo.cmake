@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache_test.cc" "tests/CMakeFiles/cache_test.dir/cache_test.cc.o" "gcc" "tests/CMakeFiles/cache_test.dir/cache_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ebs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/balancer/CMakeFiles/ebs_balancer.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ebs_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/ebs_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/ebs_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/throttle/CMakeFiles/ebs_throttle.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ebs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ebs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ebs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/ebs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ebs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_container_test.dir/util_container_test.cc.o"
+  "CMakeFiles/util_container_test.dir/util_container_test.cc.o.d"
+  "util_container_test"
+  "util_container_test.pdb"
+  "util_container_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_container_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
