@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI smoke: build the Release and AddressSanitizer configs, run the full test
+# suite on Release, and re-run the replay determinism tests under ASan.
+#
+# Usage: scripts/ci_smoke.sh [build-root]   (default: ./ci-build)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_root="${1:-${repo_root}/ci-build}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "== [1/4] Configure + build: Release =="
+cmake -S "${repo_root}" -B "${build_root}/release" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${build_root}/release" -j "${jobs}"
+
+echo "== [2/4] Tier-1 tests (Release) =="
+ctest --test-dir "${build_root}/release" --output-on-failure -j "${jobs}"
+
+echo "== [3/4] Configure + build: AddressSanitizer =="
+cmake -S "${repo_root}" -B "${build_root}/asan" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEBS_SANITIZE=address >/dev/null
+cmake --build "${build_root}/asan" -j "${jobs}" --target replay_test
+
+echo "== [4/4] Replay determinism tests (ASan) =="
+"${build_root}/asan/tests/replay_test"
+
+echo "ci_smoke: all green"

@@ -1,0 +1,55 @@
+#include "src/cache/online_hotspot.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/topology/entities.h"
+
+namespace ebs {
+
+OnlineCacheSink::OnlineCacheSink(CachePolicy policy, uint64_t block_bytes)
+    : policy_(policy),
+      block_bytes_(block_bytes),
+      capacity_pages_(static_cast<size_t>(block_bytes / kPageBytes)) {
+  if (policy == CachePolicy::kFrozenHot) {
+    throw std::invalid_argument(
+        "OnlineCacheSink: FrozenHot needs a hottest-block pre-pass; use ReplayVdCache");
+  }
+  if (capacity_pages_ == 0) {
+    throw std::invalid_argument("OnlineCacheSink: block_bytes must hold at least one page");
+  }
+}
+
+void OnlineCacheSink::OnStart(const Fleet& fleet, size_t /*window_steps*/,
+                              double /*step_seconds*/) {
+  per_vd_.clear();
+  per_vd_.resize(fleet.vds.size());
+  total_hits_ = 0;
+  total_accesses_ = 0;
+}
+
+void OnlineCacheSink::OnEvent(const ReplayEvent& event) {
+  VdCacheState& state = per_vd_[event.record.vd.value()];
+  if (state.cache == nullptr) {
+    state.cache = MakeCache(policy_, capacity_pages_);
+  }
+  const uint64_t start_page = event.record.offset / kPageBytes;
+  const size_t pages = std::max<size_t>(1, event.record.size_bytes / kPageBytes);
+  const size_t hits = AccessRange(*state.cache, start_page, pages);
+  state.hits += hits;
+  state.accesses += pages;
+  total_hits_ += hits;
+  total_accesses_ += pages;
+}
+
+CacheReplayResult OnlineCacheSink::ResultFor(VdId vd) const {
+  const VdCacheState& state = per_vd_[vd.value()];
+  CacheReplayResult result;
+  result.page_accesses = state.accesses;
+  result.hit_ratio = state.accesses == 0
+                         ? 0.0
+                         : static_cast<double>(state.hits) / static_cast<double>(state.accesses);
+  return result;
+}
+
+}  // namespace ebs

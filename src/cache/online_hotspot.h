@@ -1,0 +1,55 @@
+// Online per-VD cache replay (§7.3.1) for the replay engine.
+//
+// OnlineCacheSink feeds each VD's sampled IOs through its own page cache as
+// the merged stream plays, instead of materializing the trace dataset and
+// replaying per VD afterwards. Works for the eviction-based policies (FIFO,
+// LRU, LFU, CLOCK, 2Q); FrozenHot needs a hottest-block pre-pass over the
+// finished trace and stays offline-only.
+
+#ifndef SRC_CACHE_ONLINE_HOTSPOT_H_
+#define SRC_CACHE_ONLINE_HOTSPOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/cache/hotspot.h"
+#include "src/cache/policy.h"
+#include "src/replay/sink.h"
+#include "src/topology/fleet.h"
+
+namespace ebs {
+
+class OnlineCacheSink : public ReplaySink {
+ public:
+  // Each VD's cache is sized to `block_bytes` worth of pages, mirroring
+  // ReplayVdCache. Throws std::invalid_argument for kFrozenHot.
+  OnlineCacheSink(CachePolicy policy, uint64_t block_bytes);
+
+  void OnStart(const Fleet& fleet, size_t window_steps, double step_seconds) override;
+  void OnEvent(const ReplayEvent& event) override;
+
+  // Per-VD replay outcome, equal to ReplayVdCache over the same VD's trace
+  // records (zero-initialized for VDs that saw no sampled IO).
+  CacheReplayResult ResultFor(VdId vd) const;
+  uint64_t total_page_accesses() const { return total_accesses_; }
+  uint64_t total_page_hits() const { return total_hits_; }
+
+ private:
+  struct VdCacheState {
+    std::unique_ptr<PageCache> cache;  // created on the VD's first IO
+    uint64_t hits = 0;
+    uint64_t accesses = 0;
+  };
+
+  CachePolicy policy_;
+  uint64_t block_bytes_;
+  size_t capacity_pages_;
+  std::vector<VdCacheState> per_vd_;
+  uint64_t total_hits_ = 0;
+  uint64_t total_accesses_ = 0;
+};
+
+}  // namespace ebs
+
+#endif  // SRC_CACHE_ONLINE_HOTSPOT_H_

@@ -1,5 +1,9 @@
 #include "src/core/simulation.h"
 
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
 namespace ebs {
 
 SimulationConfig DcPreset(int dc_index) {
@@ -40,65 +44,63 @@ EbsSimulation::EbsSimulation(SimulationConfig config)
       fleet_(BuildFleet(config.fleet)),
       workload_(WorkloadGenerator(fleet_, config.workload).Generate()) {}
 
+namespace {
+
+template <typename Fill>
+const std::vector<RwSeries>& FillOnce(std::once_flag& once,
+                                      std::optional<std::vector<RwSeries>>& value, Fill&& fill) {
+  std::call_once(once, [&] { value = fill(); });
+  return *value;
+}
+
+}  // namespace
+
 const std::vector<RwSeries>& EbsSimulation::VdSeries() const {
-  if (!vd_) {
-    vd_ = RollupToVd(fleet_, metrics());
-  }
-  return *vd_;
+  return FillOnce(vd_.once, vd_.value, [&] { return RollupToVd(fleet_, metrics()); });
 }
 
 const std::vector<RwSeries>& EbsSimulation::VmSeries() const {
-  if (!vm_) {
-    vm_ = RollupToVm(fleet_, metrics());
-  }
-  return *vm_;
+  return FillOnce(vm_.once, vm_.value, [&] { return RollupToVm(fleet_, metrics()); });
 }
 
 const std::vector<RwSeries>& EbsSimulation::UserSeries() const {
-  if (!user_) {
-    user_ = RollupToUser(fleet_, metrics());
-  }
-  return *user_;
+  return FillOnce(user_.once, user_.value, [&] { return RollupToUser(fleet_, metrics()); });
 }
 
 const std::vector<RwSeries>& EbsSimulation::WtSeries() const {
-  if (!wt_) {
-    wt_ = RollupToWt(fleet_, metrics());
-  }
-  return *wt_;
+  return FillOnce(wt_.once, wt_.value, [&] { return RollupToWt(fleet_, metrics()); });
 }
 
 const std::vector<RwSeries>& EbsSimulation::CnSeries() const {
-  if (!cn_) {
-    cn_ = RollupToComputeNode(fleet_, metrics());
-  }
-  return *cn_;
+  return FillOnce(cn_.once, cn_.value, [&] { return RollupToComputeNode(fleet_, metrics()); });
 }
 
 const std::vector<RwSeries>& EbsSimulation::BsSeries() const {
-  if (!bs_) {
-    bs_ = RollupToBlockServer(fleet_, metrics());
-  }
-  return *bs_;
+  return FillOnce(bs_.once, bs_.value, [&] { return RollupToBlockServer(fleet_, metrics()); });
 }
 
 const std::vector<RwSeries>& EbsSimulation::SnSeries() const {
-  if (!sn_) {
-    sn_ = RollupToStorageNode(fleet_, metrics());
-  }
-  return *sn_;
+  return FillOnce(sn_.once, sn_.value, [&] { return RollupToStorageNode(fleet_, metrics()); });
 }
 
 const std::vector<RwSeries>& EbsSimulation::SegSeries() const {
-  if (!seg_) {
-    std::vector<RwSeries> flat;
-    flat.reserve(metrics().segment_series.size());
+  return FillOnce(seg_.once, seg_.value, [&] {
+    // Flatten in ascending segment-id order so the result does not depend on
+    // the hash map's population history.
+    std::vector<std::pair<uint32_t, const RwSeries*>> sorted;
+    sorted.reserve(metrics().segment_series.size());
     for (const auto& [key, series] : metrics().segment_series) {
-      flat.push_back(series);
+      sorted.emplace_back(key, &series);
     }
-    seg_ = std::move(flat);
-  }
-  return *seg_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<RwSeries> flat;
+    flat.reserve(sorted.size());
+    for (const auto& [key, series] : sorted) {
+      flat.push_back(*series);
+    }
+    return flat;
+  });
 }
 
 }  // namespace ebs

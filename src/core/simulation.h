@@ -9,6 +9,7 @@
 #define SRC_CORE_SIMULATION_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -42,7 +43,8 @@ class EbsSimulation {
   const MetricDataset& metrics() const { return workload_.metrics; }
   const TraceDataset& traces() const { return workload_.traces; }
 
-  // Cached rollups (computed on first use).
+  // Cached rollups, computed once on first use. Safe to call from multiple
+  // threads concurrently (each cache fills under a std::once_flag).
   const std::vector<RwSeries>& VdSeries() const;
   const std::vector<RwSeries>& VmSeries() const;
   const std::vector<RwSeries>& UserSeries() const;
@@ -50,22 +52,30 @@ class EbsSimulation {
   const std::vector<RwSeries>& CnSeries() const;
   const std::vector<RwSeries>& BsSeries() const;
   const std::vector<RwSeries>& SnSeries() const;
-  // Active-segment series as a flat vector (copies the map values once).
+  // Active-segment series as a flat vector in ascending segment-id order
+  // (copies the map values once).
   const std::vector<RwSeries>& SegSeries() const;
 
  private:
+  // One lazily-filled rollup cache; call_once makes concurrent first reads
+  // race-free (filling exactly once, others blocking until it is ready).
+  struct RollupCache {
+    std::once_flag once;
+    std::optional<std::vector<RwSeries>> value;
+  };
+
   SimulationConfig config_;
   Fleet fleet_;
   WorkloadResult workload_;
 
-  mutable std::optional<std::vector<RwSeries>> vd_;
-  mutable std::optional<std::vector<RwSeries>> vm_;
-  mutable std::optional<std::vector<RwSeries>> user_;
-  mutable std::optional<std::vector<RwSeries>> wt_;
-  mutable std::optional<std::vector<RwSeries>> cn_;
-  mutable std::optional<std::vector<RwSeries>> bs_;
-  mutable std::optional<std::vector<RwSeries>> sn_;
-  mutable std::optional<std::vector<RwSeries>> seg_;
+  mutable RollupCache vd_;
+  mutable RollupCache vm_;
+  mutable RollupCache user_;
+  mutable RollupCache wt_;
+  mutable RollupCache cn_;
+  mutable RollupCache bs_;
+  mutable RollupCache sn_;
+  mutable RollupCache seg_;
 };
 
 }  // namespace ebs

@@ -1,0 +1,67 @@
+#include "src/core/streaming.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace ebs {
+
+StreamingSimulation::StreamingSimulation(SimulationConfig config, ReplayOptions options)
+    : config_(config),
+      fleet_(BuildFleet(config.fleet)),
+      collector_(config.workload.sampling_rate),
+      engine_(fleet_, config.workload, options) {
+  engine_.AddSink(&collector_);
+  engine_.AddSink(&rollups_);
+}
+
+void StreamingSimulation::AddSink(ReplaySink* sink) {
+  if (ran_) {
+    throw std::logic_error("StreamingSimulation: AddSink after Run");
+  }
+  engine_.AddSink(sink);
+}
+
+void StreamingSimulation::Run() {
+  if (ran_) {
+    throw std::logic_error("StreamingSimulation: Run called twice");
+  }
+  workload_ = engine_.Run();
+  workload_.traces = collector_.TakeDataset();
+
+  std::vector<std::pair<uint32_t, const RwSeries*>> sorted;
+  sorted.reserve(workload_.metrics.segment_series.size());
+  for (const auto& [key, series] : workload_.metrics.segment_series) {
+    sorted.emplace_back(key, &series);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  seg_.reserve(sorted.size());
+  for (const auto& [key, series] : sorted) {
+    seg_.push_back(*series);
+  }
+  ran_ = true;
+}
+
+void StreamingSimulation::RequireRan() const {
+  if (!ran_) {
+    throw std::logic_error("StreamingSimulation: dataset accessed before Run");
+  }
+}
+
+const WorkloadResult& StreamingSimulation::workload() const {
+  RequireRan();
+  return workload_;
+}
+
+const std::vector<RwSeries>& StreamingSimulation::SegSeries() const {
+  RequireRan();
+  return seg_;
+}
+
+const StreamingAggregator& StreamingSimulation::aggregator() const {
+  RequireRan();
+  return rollups_.aggregator();
+}
+
+}  // namespace ebs

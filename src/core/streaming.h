@@ -1,0 +1,80 @@
+// Streaming counterpart of EbsSimulation.
+//
+// StreamingSimulation builds the same fleet and datasets, but through the
+// sharded replay engine: generation runs on worker threads, the merged IO
+// stream drives any registered sinks online, and the entity-level rollups are
+// folded incrementally as each second completes. For a fixed config the
+// resulting metrics, traces, and rollups are bit-identical to the batch
+// EbsSimulation, independent of the worker-thread count.
+//
+//   ebs::StreamingSimulation sim(ebs::DcPreset(1), {.worker_threads = 8});
+//   ebs::OnlineLendingSink lending(sim.fleet(), groups, throttle_config);
+//   sim.AddSink(&lending);
+//   sim.Run();
+//   const auto& vm = sim.VmSeries();  // == EbsSimulation(DcPreset(1)).VmSeries()
+
+#ifndef SRC_CORE_STREAMING_H_
+#define SRC_CORE_STREAMING_H_
+
+#include <vector>
+
+#include "src/core/simulation.h"
+#include "src/replay/engine.h"
+#include "src/replay/sinks.h"
+
+namespace ebs {
+
+class StreamingSimulation {
+ public:
+  explicit StreamingSimulation(SimulationConfig config = DcPreset(1), ReplayOptions options = {});
+
+  // Self-referential (the engine and aggregator point at fleet_): pin it.
+  StreamingSimulation(const StreamingSimulation&) = delete;
+  StreamingSimulation& operator=(const StreamingSimulation&) = delete;
+
+  // Registers an extra observer (not owned); runs after the built-in trace
+  // collector and rollup sinks. Must be called before Run().
+  void AddSink(ReplaySink* sink);
+
+  // Generates the observation window through the replay engine. Call once.
+  void Run();
+
+  const SimulationConfig& config() const { return config_; }
+  const Fleet& fleet() const { return fleet_; }
+  const ReplayStats& stats() const { return engine_.stats(); }
+
+  // Dataset accessors; valid after Run(). Trace records are in the merged
+  // stream order (timestamp, vd, sequence).
+  const WorkloadResult& workload() const;
+  const MetricDataset& metrics() const { return workload().metrics; }
+  const TraceDataset& traces() const { return workload().traces; }
+
+  // Rollups assembled incrementally during the run.
+  const std::vector<RwSeries>& VdSeries() const { return aggregator().vd(); }
+  const std::vector<RwSeries>& VmSeries() const { return aggregator().vm(); }
+  const std::vector<RwSeries>& UserSeries() const { return aggregator().user(); }
+  const std::vector<RwSeries>& WtSeries() const { return aggregator().wt(); }
+  const std::vector<RwSeries>& CnSeries() const { return aggregator().cn(); }
+  const std::vector<RwSeries>& BsSeries() const { return aggregator().bs(); }
+  const std::vector<RwSeries>& SnSeries() const { return aggregator().sn(); }
+  // Active-segment series, ascending segment id (same order as
+  // EbsSimulation::SegSeries).
+  const std::vector<RwSeries>& SegSeries() const;
+
+ private:
+  const StreamingAggregator& aggregator() const;
+  void RequireRan() const;
+
+  SimulationConfig config_;
+  Fleet fleet_;
+  TraceCollectorSink collector_;
+  RollupAggregatorSink rollups_;
+  ReplayEngine engine_;
+  WorkloadResult workload_;
+  std::vector<RwSeries> seg_;
+  bool ran_ = false;
+};
+
+}  // namespace ebs
+
+#endif  // SRC_CORE_STREAMING_H_

@@ -1,0 +1,59 @@
+#include "src/hypervisor/online_balance.h"
+
+#include <algorithm>
+
+#include "src/util/stats.h"
+
+namespace ebs {
+
+OnlineWtCovSink::OnlineWtCovSink(OpType op, size_t cov_window_steps)
+    : op_(op), cov_window_steps_(cov_window_steps) {}
+
+void OnlineWtCovSink::OnStart(const Fleet& fleet, size_t /*window_steps*/,
+                              double /*step_seconds*/) {
+  fleet_ = &fleet;
+  window_acc_.assign(fleet.wts.size(), 0.0);
+  step_total_.assign(fleet.wts.size(), 0.0);
+  per_node_.assign(fleet.nodes.size(), {});
+  samples_.clear();
+}
+
+void OnlineWtCovSink::OnStepComplete(const ReplayStepView& view) {
+  // Two-stage accumulation keeps the FP addition order identical to batch:
+  // RollupToWt folds QPs (fleet order) into the per-step WT value first, and
+  // WtCovSamples then folds steps in ascending order.
+  std::fill(step_total_.begin(), step_total_.end(), 0.0);
+  for (const Qp& qp : fleet_->qps) {
+    step_total_[qp.bound_wt.value()] += view.qp_series[qp.id.value()].Bytes(op_)[view.step];
+  }
+  for (size_t w = 0; w < window_acc_.size(); ++w) {
+    window_acc_[w] += step_total_[w];
+  }
+
+  if ((view.step + 1) % cov_window_steps_ != 0) {
+    return;
+  }
+  for (const ComputeNode& node : fleet_->nodes) {
+    std::vector<double> totals;
+    totals.reserve(node.wts.size());
+    double node_total = 0.0;
+    for (const WorkerThreadId wt : node.wts) {
+      totals.push_back(window_acc_[wt.value()]);
+      node_total += window_acc_[wt.value()];
+    }
+    if (node_total > 0.0) {
+      per_node_[node.id.value()].push_back(NormalizedCoV(totals));
+    }
+  }
+  std::fill(window_acc_.begin(), window_acc_.end(), 0.0);
+}
+
+void OnlineWtCovSink::OnFinish() {
+  // Node-major concatenation reproduces WtCovSamples' node-outer loop order.
+  samples_.clear();
+  for (const std::vector<double>& node_samples : per_node_) {
+    samples_.insert(samples_.end(), node_samples.begin(), node_samples.end());
+  }
+}
+
+}  // namespace ebs

@@ -1,0 +1,46 @@
+// Online WT-balance observation (§4.1) for the replay engine.
+//
+// OnlineWtCovSink accumulates per-WT traffic window by window as the stream
+// plays and emits one normalized-CoV sample per (node, complete window) with
+// traffic — the same samples WtCovSamples computes from the fully
+// materialized MetricDataset, in the same order and bit-identical, without
+// ever holding the full per-QP series rollup.
+
+#ifndef SRC_HYPERVISOR_ONLINE_BALANCE_H_
+#define SRC_HYPERVISOR_ONLINE_BALANCE_H_
+
+#include <vector>
+
+#include "src/replay/sink.h"
+#include "src/topology/fleet.h"
+
+namespace ebs {
+
+class OnlineWtCovSink : public ReplaySink {
+ public:
+  // `cov_window_steps` is the CoV time scale (e.g. 60 for 1-minute CoV).
+  OnlineWtCovSink(OpType op, size_t cov_window_steps);
+
+  void OnStart(const Fleet& fleet, size_t window_steps, double step_seconds) override;
+  void OnStepComplete(const ReplayStepView& view) override;
+  void OnFinish() override;
+
+  // One sample per (node, complete window) with traffic, node-major — the
+  // exact output of WtCovSamples(fleet, metrics, op, cov_window_steps). Valid
+  // after OnFinish (a trailing partial window is discarded, as in batch).
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  OpType op_;
+  size_t cov_window_steps_;
+
+  const Fleet* fleet_ = nullptr;
+  std::vector<double> window_acc_;   // per-WT bytes in the current window
+  std::vector<double> step_total_;   // per-WT bytes of the current step
+  std::vector<std::vector<double>> per_node_;  // samples grouped by node
+  std::vector<double> samples_;
+};
+
+}  // namespace ebs
+
+#endif  // SRC_HYPERVISOR_ONLINE_BALANCE_H_

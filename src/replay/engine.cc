@@ -1,0 +1,186 @@
+#include "src/replay/engine.h"
+
+#include <algorithm>
+#include <exception>
+#include <future>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "src/replay/bounded_queue.h"
+#include "src/replay/shard.h"
+
+namespace ebs {
+
+ReplayEngine::ReplayEngine(const Fleet& fleet, WorkloadConfig config, ReplayOptions options)
+    : fleet_(fleet), config_(config), options_(options) {}
+
+void ReplayEngine::AddSink(ReplaySink* sink) { sinks_.push_back(sink); }
+
+WorkloadResult ReplayEngine::Run() {
+  WorkloadResult result;
+  const size_t steps = config_.window_steps;
+  const double dt = config_.step_seconds;
+  result.metrics.step_seconds = dt;
+  result.metrics.window_steps = steps;
+  result.metrics.qp_series.assign(fleet_.qps.size(), RwSeries(steps, dt));
+  result.offered_vd.assign(fleet_.vds.size(), RwSeries(steps, dt));
+  result.vd_truth.assign(fleet_.vds.size(), VdGroundTruth{});
+  result.traces.window_seconds = static_cast<double>(steps) * dt;
+  result.traces.sampling_rate = config_.sampling_rate;
+
+  const size_t shard_count =
+      std::max<size_t>(1, std::min(options_.worker_threads, std::max<size_t>(1, fleet_.vms.size())));
+  stats_ = ReplayStats{};
+  stats_.shards = shard_count;
+
+  // Round-robin VM assignment: a deterministic partition that spreads the
+  // heavy-tailed tenants across shards. Any partition yields the same output.
+  std::vector<std::vector<uint32_t>> assignment(shard_count);
+  for (const Vm& vm : fleet_.vms) {
+    assignment[vm.id.value() % shard_count].push_back(vm.id.value());
+  }
+
+  std::vector<std::unique_ptr<ReplayShard>> shards;
+  std::vector<std::unique_ptr<BoundedQueue<ShardBatch>>> queues;
+  shards.reserve(shard_count);
+  queues.reserve(shard_count);
+  for (size_t s = 0; s < shard_count; ++s) {
+    shards.push_back(std::make_unique<ReplayShard>(fleet_, config_, static_cast<uint32_t>(s),
+                                                   std::move(assignment[s])));
+    queues.push_back(std::make_unique<BoundedQueue<ShardBatch>>(options_.queue_capacity));
+  }
+
+  std::vector<std::promise<void>> init_done(shard_count);
+  std::vector<std::exception_ptr> worker_errors(shard_count);
+  std::vector<std::thread> workers;
+  workers.reserve(shard_count);
+  for (size_t s = 0; s < shard_count; ++s) {
+    workers.emplace_back([&, s] {
+      try {
+        shards[s]->Init(&result.metrics.qp_series, &result.offered_vd, &result.vd_truth);
+      } catch (...) {
+        init_done[s].set_exception(std::current_exception());
+        queues[s]->Close();
+        return;
+      }
+      init_done[s].set_value();
+      try {
+        for (size_t t = 0; t < steps; ++t) {
+          // Push blocks while the queue is at capacity (backpressure) and
+          // fails once the merge side closed the queue (abort).
+          if (!queues[s]->Push(shards[s]->GenerateStep(t))) {
+            return;
+          }
+        }
+      } catch (...) {
+        worker_errors[s] = std::current_exception();
+      }
+      queues[s]->Close();
+    });
+  }
+
+  auto abort_and_join = [&] {
+    for (auto& queue : queues) {
+      queue->Close();
+    }
+    for (auto& worker : workers) {
+      if (worker.joinable()) {
+        worker.join();
+      }
+    }
+  };
+  auto rethrow_worker_error = [&] {
+    for (const std::exception_ptr& error : worker_errors) {
+      if (error) {
+        std::rethrow_exception(error);
+      }
+    }
+  };
+
+  try {
+    // Wait for shard initialization: after this, the shared qp/offered/truth
+    // slots of every shard are built and the segment registries are frozen.
+    for (auto& done : init_done) {
+      done.get_future().get();
+    }
+
+    // Merged storage-domain registry, ascending segment id (each segment
+    // belongs to exactly one VD, hence one shard).
+    std::vector<std::pair<SegmentId, const RwSeries*>> segments;
+    for (const auto& shard : shards) {
+      segments.insert(segments.end(), shard->segments().begin(), shard->segments().end());
+    }
+    std::sort(segments.begin(), segments.end(),
+              [](const auto& a, const auto& b) { return a.first.value() < b.first.value(); });
+
+    for (ReplaySink* sink : sinks_) {
+      sink->OnStart(fleet_, steps, dt);
+    }
+
+    std::vector<ShardBatch> current(shard_count);
+    for (size_t t = 0; t < steps; ++t) {
+      for (size_t s = 0; s < shard_count; ++s) {
+        if (!queues[s]->Pop(&current[s]) || current[s].step != t) {
+          throw std::runtime_error("replay shard ended before the window completed");
+        }
+      }
+      // K-way heap merge of the second's per-shard sorted batches. Every
+      // shard stream is totally ordered by ReplayEventBefore (batches are
+      // sorted and timestamps never cross step boundaries), so popping the
+      // least head yields the global stream order.
+      using Head = std::pair<size_t, size_t>;  // (index in batch, shard)
+      const auto later = [&current](const Head& a, const Head& b) {
+        return ReplayEventBefore(current[b.second].events[b.first],
+                                 current[a.second].events[a.first]);
+      };
+      std::priority_queue<Head, std::vector<Head>, decltype(later)> heap(later);
+      for (size_t s = 0; s < shard_count; ++s) {
+        if (!current[s].events.empty()) {
+          heap.push({0, s});
+        }
+      }
+      while (!heap.empty()) {
+        const auto [index, s] = heap.top();
+        heap.pop();
+        const ReplayEvent& event = current[s].events[index];
+        ++stats_.events;
+        for (ReplaySink* sink : sinks_) {
+          sink->OnEvent(event);
+        }
+        if (index + 1 < current[s].events.size()) {
+          heap.push({index + 1, s});
+        }
+      }
+
+      const ReplayStepView view{t, dt, result.metrics.qp_series, result.offered_vd, segments};
+      for (ReplaySink* sink : sinks_) {
+        sink->OnStepComplete(view);
+      }
+    }
+  } catch (...) {
+    abort_and_join();
+    rethrow_worker_error();  // prefer the root cause over the merge symptom
+    throw;
+  }
+
+  for (auto& worker : workers) {
+    worker.join();
+  }
+  rethrow_worker_error();
+
+  for (auto& shard : shards) {
+    shard->ExportSegments(&result.metrics);
+  }
+  if (config_.sampling_rate > 0.0) {
+    stats_.modeled_ios = static_cast<double>(stats_.events) / config_.sampling_rate;
+  }
+  for (ReplaySink* sink : sinks_) {
+    sink->OnFinish();
+  }
+  return result;
+}
+
+}  // namespace ebs

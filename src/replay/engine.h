@@ -1,0 +1,69 @@
+// Streaming discrete-event replay engine.
+//
+// ReplayEngine turns the fleet synthesizer into an online system: VMs are
+// partitioned across worker threads (deterministically seeded per VM, so the
+// output is independent of the partition), each shard generates per-second
+// event batches into a bounded queue, and the engine k-way heap-merges the
+// shard streams into one time-ordered IO stream that drives a chain of
+// ReplaySinks. Memory stays bounded by shards x queue-capacity seconds of
+// events instead of the whole trace dataset; full-scale per-second metrics
+// are still assembled (they are a fixed-size product, not per-IO).
+//
+// Determinism: for a fixed (fleet, config.seed), the merged event stream, the
+// metric dataset, and every per-second view handed to sinks are identical for
+// any worker-thread count — the replay determinism test locks this in against
+// the batch WorkloadGenerator.
+
+#ifndef SRC_REPLAY_ENGINE_H_
+#define SRC_REPLAY_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/replay/sink.h"
+#include "src/topology/fleet.h"
+#include "src/workload/generator.h"
+
+namespace ebs {
+
+struct ReplayOptions {
+  // Generation worker threads; clamped to the VM count.
+  size_t worker_threads = 1;
+  // Per-shard queue bound, in one-second batches. Generation stalls when the
+  // merge falls this far behind (backpressure instead of unbounded RAM).
+  size_t queue_capacity = 8;
+};
+
+struct ReplayStats {
+  size_t shards = 0;
+  uint64_t events = 0;       // sampled IOs streamed through the sink chain
+  double modeled_ios = 0.0;  // events scaled by 1/sampling_rate
+};
+
+class ReplayEngine {
+ public:
+  ReplayEngine(const Fleet& fleet, WorkloadConfig config, ReplayOptions options = {});
+
+  // Registers an observer; not owned. Sinks run on the merge thread in
+  // registration order.
+  void AddSink(ReplaySink* sink);
+
+  // Runs the whole observation window once. Returns the assembled full-scale
+  // datasets (metrics, offered load, ground truth). The per-IO trace dataset
+  // is NOT materialized — that is the point of streaming; attach a
+  // TraceCollectorSink to keep the events.
+  WorkloadResult Run();
+
+  const ReplayStats& stats() const { return stats_; }
+
+ private:
+  const Fleet& fleet_;
+  WorkloadConfig config_;
+  ReplayOptions options_;
+  std::vector<ReplaySink*> sinks_;
+  ReplayStats stats_;
+};
+
+}  // namespace ebs
+
+#endif  // SRC_REPLAY_ENGINE_H_

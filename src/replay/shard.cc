@@ -1,0 +1,70 @@
+#include "src/replay/shard.h"
+
+#include <algorithm>
+
+namespace ebs {
+
+ReplayShard::ReplayShard(const Fleet& fleet, const WorkloadConfig& config, uint32_t shard_index,
+                         std::vector<uint32_t> vm_ids)
+    : fleet_(fleet),
+      config_(config),
+      shard_index_(shard_index),
+      vm_ids_(std::move(vm_ids)),
+      temporal_({config.window_steps, config.step_seconds}),
+      latency_model_(config.latency) {}
+
+void ReplayShard::Init(std::vector<RwSeries>* qp_series, std::vector<RwSeries>* offered_vd,
+                       std::vector<VdGroundTruth>* vd_truth) {
+  const Rng root(config_.seed);
+  const SegmentSeriesResolver resolver = [this](SegmentId id) {
+    RwSeries*& slot = segment_lookup_[id.value()];
+    if (slot == nullptr) {
+      segment_storage_.emplace_back(config_.window_steps, config_.step_seconds);
+      slot = &segment_storage_.back();
+      segment_index_.emplace_back(id, slot);
+    }
+    return slot;
+  };
+
+  for (const uint32_t vm_id : vm_ids_) {
+    VmStreamSet streams = BuildVmStreams(fleet_, config_, fleet_.vms[vm_id], temporal_,
+                                         latency_model_, root, resolver, qp_series, offered_vd,
+                                         vd_truth);
+    for (auto& stream : streams.streams) {
+      streams_.push_back(std::move(stream));
+    }
+  }
+  stream_sequence_.assign(streams_.size(), 0);
+}
+
+ShardBatch ReplayShard::GenerateStep(size_t t) {
+  ShardBatch batch;
+  batch.step = static_cast<uint32_t>(t);
+  for (size_t i = 0; i < streams_.size(); ++i) {
+    scratch_.clear();
+    streams_[i]->Step(t, &scratch_);
+    for (TraceRecord& record : scratch_) {
+      ReplayEvent event;
+      event.record = record;
+      event.step = batch.step;
+      event.shard = shard_index_;
+      event.sequence = stream_sequence_[i]++;
+      batch.events.push_back(std::move(event));
+    }
+  }
+  // Sort the second's events by the global stream order, making each shard's
+  // stream totally ordered (timestamps never cross step boundaries).
+  std::sort(batch.events.begin(), batch.events.end(), ReplayEventBefore);
+  return batch;
+}
+
+void ReplayShard::ExportSegments(MetricDataset* metrics) {
+  for (const auto& [id, series] : segment_index_) {
+    metrics->segment_series.emplace(id.value(), std::move(*segment_lookup_[id.value()]));
+  }
+  segment_storage_.clear();
+  segment_lookup_.clear();
+  segment_index_.clear();
+}
+
+}  // namespace ebs

@@ -1,0 +1,82 @@
+// One generation shard of the replay engine.
+//
+// A shard owns a subset of the fleet's VMs and synthesizes their traffic on
+// one worker thread, one second at a time. Because QPs and segments belong to
+// exactly one VD, a shard writes its compute-domain metrics straight into the
+// engine's shared arrays without synchronization; storage-domain series live
+// in shard-local storage (a shared hash map would need structural mutation)
+// and are exported into the MetricDataset after generation.
+
+#ifndef SRC_REPLAY_SHARD_H_
+#define SRC_REPLAY_SHARD_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/replay/sink.h"
+#include "src/topology/fleet.h"
+#include "src/topology/latency.h"
+#include "src/workload/generator.h"
+#include "src/workload/vd_stream.h"
+
+namespace ebs {
+
+// The events of one shard for one second, sorted by ReplayEventBefore.
+struct ShardBatch {
+  uint32_t step = 0;
+  std::vector<ReplayEvent> events;
+};
+
+class ReplayShard {
+ public:
+  ReplayShard(const Fleet& fleet, const WorkloadConfig& config, uint32_t shard_index,
+              std::vector<uint32_t> vm_ids);
+
+  // Builds every VM stream of the shard — the expensive part (spatial models,
+  // whole-window rate processes). Runs on the worker thread; writes only this
+  // shard's VDs' slots of the shared arrays, which are disjoint across
+  // shards.
+  void Init(std::vector<RwSeries>* qp_series, std::vector<RwSeries>* offered_vd,
+            std::vector<VdGroundTruth>* vd_truth);
+
+  // Generates second `t` for every stream. Steps must be generated in order.
+  ShardBatch GenerateStep(size_t t);
+
+  // Storage-domain series owned by this shard. Stable after Init.
+  const std::vector<std::pair<SegmentId, const RwSeries*>>& segments() const {
+    return segment_index_;
+  }
+
+  // Moves the shard's segment series into `metrics` (call after generation).
+  void ExportSegments(MetricDataset* metrics);
+
+  uint32_t shard_index() const { return shard_index_; }
+  size_t stream_count() const { return streams_.size(); }
+
+ private:
+  const Fleet& fleet_;
+  const WorkloadConfig& config_;
+  uint32_t shard_index_;
+  std::vector<uint32_t> vm_ids_;
+
+  RateProcessGenerator temporal_;
+  LatencyModel latency_model_;
+
+  // Shard-local storage-domain series. std::deque keeps pointers stable while
+  // streams register new segments during Init.
+  std::deque<RwSeries> segment_storage_;
+  std::unordered_map<uint32_t, RwSeries*> segment_lookup_;
+  std::vector<std::pair<SegmentId, const RwSeries*>> segment_index_;
+
+  std::vector<std::unique_ptr<VdTrafficStream>> streams_;
+  std::vector<uint64_t> stream_sequence_;  // per-VD emission counters
+  std::vector<TraceRecord> scratch_;
+};
+
+}  // namespace ebs
+
+#endif  // SRC_REPLAY_SHARD_H_

@@ -1,0 +1,77 @@
+// Observer interface of the streaming replay engine.
+//
+// The engine merges per-shard generation into one time-ordered IO stream and
+// pushes it through a chain of sinks. A sink sees two granularities, matching
+// the paper's two datasets: per-IO events (the sampled trace stream) via
+// OnEvent, and full-scale per-second metrics via OnStepComplete. Online
+// mitigation policies — WT balancing, throttling with limited lending,
+// hotspot/cache placement — are sinks; chaining them runs every policy in a
+// single pass over the stream.
+
+#ifndef SRC_REPLAY_SINK_H_
+#define SRC_REPLAY_SINK_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/topology/fleet.h"
+#include "src/trace/records.h"
+
+namespace ebs {
+
+// One sampled IO in the merged stream.
+struct ReplayEvent {
+  TraceRecord record;
+  uint32_t step = 0;      // second the IO belongs to
+  uint32_t shard = 0;     // generating shard (diagnostic only)
+  uint64_t sequence = 0;  // per-VD emission index
+};
+
+// The merged stream's total order: (timestamp, vd, sequence). The tie-breaks
+// make the order independent of how VMs are assigned to shards, which is why
+// the stream is identical for any worker-thread count.
+inline bool ReplayEventBefore(const ReplayEvent& a, const ReplayEvent& b) {
+  if (a.record.timestamp != b.record.timestamp) {
+    return a.record.timestamp < b.record.timestamp;
+  }
+  if (a.record.vd.value() != b.record.vd.value()) {
+    return a.record.vd.value() < b.record.vd.value();
+  }
+  return a.sequence < b.sequence;
+}
+
+// Read-only view handed to sinks at each step boundary. Columns <= step hold
+// final values; later columns may still be written by worker threads and must
+// not be read.
+struct ReplayStepView {
+  size_t step = 0;
+  double step_seconds = 1.0;
+  const std::vector<RwSeries>& qp_series;   // compute domain, full scale
+  const std::vector<RwSeries>& offered_vd;  // pre-throttle per-VD demand
+  // Active storage-domain series, ascending segment id.
+  const std::vector<std::pair<SegmentId, const RwSeries*>>& segments;
+};
+
+class ReplaySink {
+ public:
+  virtual ~ReplaySink() = default;
+
+  // Called once, after every shard finished initialization and before the
+  // first event.
+  virtual void OnStart(const Fleet& /*fleet*/, size_t /*window_steps*/,
+                       double /*step_seconds*/) {}
+
+  // Called for every IO event, in the merged stream's total order.
+  virtual void OnEvent(const ReplayEvent& /*event*/) {}
+
+  // Called after the last event of second `view.step`.
+  virtual void OnStepComplete(const ReplayStepView& /*view*/) {}
+
+  // Called once, after the final step completed.
+  virtual void OnFinish() {}
+};
+
+}  // namespace ebs
+
+#endif  // SRC_REPLAY_SINK_H_

@@ -1,0 +1,41 @@
+#include "src/replay/sinks.h"
+
+namespace ebs {
+
+void TraceCollectorSink::OnStart(const Fleet& /*fleet*/, size_t window_steps,
+                                 double step_seconds) {
+  dataset_ = TraceDataset{};
+  dataset_.window_seconds = static_cast<double>(window_steps) * step_seconds;
+  dataset_.sampling_rate = sampling_rate_;
+}
+
+void TraceCollectorSink::OnEvent(const ReplayEvent& event) {
+  dataset_.records.push_back(event.record);
+}
+
+void RollupAggregatorSink::OnStart(const Fleet& fleet, size_t window_steps, double step_seconds) {
+  aggregator_.emplace(fleet, window_steps, step_seconds);
+  segments_registered_ = false;
+}
+
+void RollupAggregatorSink::OnStepComplete(const ReplayStepView& view) {
+  if (!segments_registered_) {
+    // The registry is frozen once shards finish Init, so the first step
+    // boundary already sees every segment that will ever carry traffic.
+    aggregator_->RegisterSegments(view.segments);
+    segments_registered_ = true;
+  }
+  aggregator_->IngestStep(view.qp_series, view.step);
+}
+
+void ThroughputProbeSink::OnEvent(const ReplayEvent& event) {
+  ++events_;
+  if (event.record.op == OpType::kRead) {
+    ++read_ops_;
+  } else {
+    ++write_ops_;
+  }
+  sampled_bytes_ += static_cast<double>(event.record.size_bytes);
+}
+
+}  // namespace ebs

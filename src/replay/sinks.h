@@ -1,0 +1,72 @@
+// Stock sinks for the replay engine.
+//
+//  - TraceCollectorSink materializes the per-IO trace dataset (the piece
+//    ReplayEngine::Run deliberately does not build) for offline analyses.
+//  - RollupAggregatorSink folds each completed second into the incremental
+//    entity-level rollups (StreamingAggregator), bit-identical to the batch
+//    Rollup* functions.
+//  - ThroughputProbeSink counts the stream — cheap observer for benchmarks
+//    and smoke checks.
+
+#ifndef SRC_REPLAY_SINKS_H_
+#define SRC_REPLAY_SINKS_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "src/replay/sink.h"
+#include "src/trace/records.h"
+#include "src/trace/streaming_aggregate.h"
+
+namespace ebs {
+
+class TraceCollectorSink : public ReplaySink {
+ public:
+  explicit TraceCollectorSink(double sampling_rate = kTraceSamplingRate)
+      : sampling_rate_(sampling_rate) {}
+
+  void OnStart(const Fleet& fleet, size_t window_steps, double step_seconds) override;
+  void OnEvent(const ReplayEvent& event) override;
+
+  // Records arrive in the merged stream order: (timestamp, vd, sequence).
+  const TraceDataset& dataset() const { return dataset_; }
+  TraceDataset TakeDataset() { return std::move(dataset_); }
+
+ private:
+  double sampling_rate_;
+  TraceDataset dataset_;
+};
+
+class RollupAggregatorSink : public ReplaySink {
+ public:
+  void OnStart(const Fleet& fleet, size_t window_steps, double step_seconds) override;
+  void OnStepComplete(const ReplayStepView& view) override;
+
+  // Valid after OnStart; rollup columns <= the last completed step are final.
+  const StreamingAggregator& aggregator() const { return *aggregator_; }
+
+ private:
+  std::optional<StreamingAggregator> aggregator_;
+  bool segments_registered_ = false;
+};
+
+class ThroughputProbeSink : public ReplaySink {
+ public:
+  void OnEvent(const ReplayEvent& event) override;
+
+  uint64_t events() const { return events_; }
+  uint64_t read_ops() const { return read_ops_; }
+  uint64_t write_ops() const { return write_ops_; }
+  double sampled_bytes() const { return sampled_bytes_; }
+
+ private:
+  uint64_t events_ = 0;
+  uint64_t read_ops_ = 0;
+  uint64_t write_ops_ = 0;
+  double sampled_bytes_ = 0.0;
+};
+
+}  // namespace ebs
+
+#endif  // SRC_REPLAY_SINKS_H_

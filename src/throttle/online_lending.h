@@ -1,0 +1,68 @@
+// Online limited-lending throttler (§5, Appendix B) for the replay engine.
+//
+// OnlineLendingSink runs Algorithm 2 step by step as the stream plays: at
+// each step boundary it reads the just-completed column of the offered per-VD
+// load, updates every sharing group's caps (periodic reset, first-throttle
+// lending) and throttle counters, and reports per-group lending gains at the
+// end — bit-identical to the batch SimulateLending over the same data.
+
+#ifndef SRC_THROTTLE_ONLINE_LENDING_H_
+#define SRC_THROTTLE_ONLINE_LENDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/replay/sink.h"
+#include "src/throttle/throttle.h"
+#include "src/topology/fleet.h"
+
+namespace ebs {
+
+class OnlineLendingSink : public ReplaySink {
+ public:
+  OnlineLendingSink(std::vector<SharingGroup> groups, ThrottleConfig config);
+
+  void OnStart(const Fleet& fleet, size_t window_steps, double step_seconds) override;
+  void OnStepComplete(const ReplayStepView& view) override;
+  void OnFinish() override;
+
+  // One gain per group with any throttling, in group order — the exact output
+  // of SimulateLending(fleet, offered_vd, groups, config). Valid after
+  // OnFinish.
+  const std::vector<double>& gains() const { return gains_; }
+  uint64_t baseline_throttled_seconds() const;
+  uint64_t lending_throttled_seconds() const;
+
+ private:
+  struct Caps {
+    double bytes = 0.0;
+    double ops = 0.0;
+  };
+  struct Usage {
+    double read_bytes = 0.0;
+    double write_bytes = 0.0;
+    double read_ops = 0.0;
+    double write_ops = 0.0;
+    double Bytes() const { return read_bytes + write_bytes; }
+    double Ops() const { return read_ops + write_ops; }
+  };
+  struct GroupState {
+    std::vector<Caps> base_caps;
+    std::vector<Caps> caps;       // current (possibly lent) caps
+    bool lent_this_period = false;
+    uint64_t baseline_throttled = 0;
+    uint64_t lending_throttled = 0;
+    std::vector<Usage> usage;     // per-step scratch
+  };
+
+  std::vector<SharingGroup> groups_;
+  ThrottleConfig config_;
+
+  const Fleet* fleet_ = nullptr;
+  std::vector<GroupState> state_;
+  std::vector<double> gains_;
+};
+
+}  // namespace ebs
+
+#endif  // SRC_THROTTLE_ONLINE_LENDING_H_

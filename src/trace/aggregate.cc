@@ -22,6 +22,11 @@ std::vector<RwSeries> RollupComputeSide(const Fleet& fleet, const MetricDataset&
 }
 
 // Sums segment-level series into buckets chosen by `bucket_of(segment)`.
+// Iterates active segments in ascending id order — not in (implementation-
+// defined) hash-map order — so the per-bucket float sums are deterministic and
+// independent of how the map was populated. This is what lets the streaming
+// replay engine, whose shards insert segments in a different order than the
+// batch generator, produce bit-identical rollups.
 template <typename BucketFn>
 std::vector<RwSeries> RollupStorageSide(const Fleet& fleet, const MetricDataset& metrics,
                                         size_t bucket_count, BucketFn bucket_of) {
@@ -29,9 +34,15 @@ std::vector<RwSeries> RollupStorageSide(const Fleet& fleet, const MetricDataset&
   for (auto& series : out) {
     series = RwSeries(metrics.window_steps, metrics.step_seconds);
   }
+  std::vector<uint32_t> keys;
+  keys.reserve(metrics.segment_series.size());
   for (const auto& [seg_value, src] : metrics.segment_series) {
+    keys.push_back(seg_value);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (const uint32_t seg_value : keys) {
     const Segment& segment = fleet.segments[seg_value];
-    out[bucket_of(segment)].Accumulate(src);
+    out[bucket_of(segment)].Accumulate(metrics.segment_series.at(seg_value));
   }
   return out;
 }

@@ -1,0 +1,65 @@
+#include "src/trace/streaming_aggregate.h"
+
+#include <algorithm>
+
+namespace ebs {
+
+namespace {
+
+std::vector<RwSeries> MakeSeries(size_t count, size_t steps, double dt) {
+  return std::vector<RwSeries>(count, RwSeries(steps, dt));
+}
+
+void AddColumn(RwSeries& out, const RwSeries& src, size_t t) {
+  out.read_bytes[t] += src.read_bytes[t];
+  out.write_bytes[t] += src.write_bytes[t];
+  out.read_ops[t] += src.read_ops[t];
+  out.write_ops[t] += src.write_ops[t];
+}
+
+}  // namespace
+
+StreamingAggregator::StreamingAggregator(const Fleet& fleet, size_t window_steps,
+                                         double step_seconds)
+    : fleet_(fleet),
+      vd_(MakeSeries(fleet.vds.size(), window_steps, step_seconds)),
+      vm_(MakeSeries(fleet.vms.size(), window_steps, step_seconds)),
+      user_(MakeSeries(fleet.users.size(), window_steps, step_seconds)),
+      wt_(MakeSeries(fleet.wts.size(), window_steps, step_seconds)),
+      cn_(MakeSeries(fleet.nodes.size(), window_steps, step_seconds)),
+      bs_(MakeSeries(fleet.block_servers.size(), window_steps, step_seconds)),
+      sn_(MakeSeries(fleet.storage_nodes.size(), window_steps, step_seconds)) {}
+
+void StreamingAggregator::RegisterSegments(
+    const std::vector<std::pair<SegmentId, const RwSeries*>>& segments) {
+  for (const auto& [id, series] : segments) {
+    segments_.emplace_back(id.value(), series);
+  }
+  std::sort(segments_.begin(), segments_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  segments_.erase(std::unique(segments_.begin(), segments_.end(),
+                              [](const auto& a, const auto& b) { return a.first == b.first; }),
+                  segments_.end());
+}
+
+void StreamingAggregator::IngestStep(const std::vector<RwSeries>& qp_series, size_t step) {
+  // Compute domain: QPs in fleet order, exactly like RollupComputeSide.
+  for (const Qp& qp : fleet_.qps) {
+    const RwSeries& src = qp_series[qp.id.value()];
+    AddColumn(vd_[qp.vd.value()], src, step);
+    AddColumn(vm_[qp.vm.value()], src, step);
+    AddColumn(user_[fleet_.vms[qp.vm.value()].user.value()], src, step);
+    AddColumn(wt_[qp.bound_wt.value()], src, step);
+    AddColumn(cn_[qp.node.value()], src, step);
+  }
+  // Storage domain: segments in ascending id order, exactly like
+  // RollupStorageSide's fleet-order sweep.
+  for (const auto& [seg_value, src] : segments_) {
+    const Segment& segment = fleet_.segments[seg_value];
+    AddColumn(bs_[segment.server.value()], *src, step);
+    AddColumn(sn_[fleet_.block_servers[segment.server.value()].node.value()], *src, step);
+  }
+  ++steps_ingested_;
+}
+
+}  // namespace ebs

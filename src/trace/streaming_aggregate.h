@@ -1,0 +1,66 @@
+// Incremental per-second rollups.
+//
+// The batch Rollup* functions post-process a fully materialized MetricDataset.
+// StreamingAggregator builds the same entity-level series one second at a
+// time, as the replay engine completes each step, so online mitigation
+// policies can observe VD/VM/user/WT/CN/BS/SN traffic while the stream is
+// still being generated. Per element, additions happen in the same order the
+// batch rollups use (QPs in fleet order, segments in ascending id order), so
+// the incremental result is bit-identical to the batch rollup of the same
+// metrics — the invariant the replay determinism test locks in.
+
+#ifndef SRC_TRACE_STREAMING_AGGREGATE_H_
+#define SRC_TRACE_STREAMING_AGGREGATE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/topology/fleet.h"
+#include "src/trace/records.h"
+
+namespace ebs {
+
+class StreamingAggregator {
+ public:
+  StreamingAggregator(const Fleet& fleet, size_t window_steps, double step_seconds);
+
+  // Registers storage-domain sources. Every active segment must be registered
+  // before the first IngestStep; duplicate registrations are ignored. The
+  // pointed-to series must outlive the aggregator and have final values for
+  // every already-ingested column.
+  void RegisterSegments(const std::vector<std::pair<SegmentId, const RwSeries*>>& segments);
+
+  // Folds second `step` of the per-QP series and the registered segment
+  // series into every rollup. Call once per step, in increasing order.
+  void IngestStep(const std::vector<RwSeries>& qp_series, size_t step);
+
+  size_t steps_ingested() const { return steps_ingested_; }
+
+  const std::vector<RwSeries>& vd() const { return vd_; }
+  const std::vector<RwSeries>& vm() const { return vm_; }
+  const std::vector<RwSeries>& user() const { return user_; }
+  const std::vector<RwSeries>& wt() const { return wt_; }
+  const std::vector<RwSeries>& cn() const { return cn_; }
+  const std::vector<RwSeries>& bs() const { return bs_; }
+  const std::vector<RwSeries>& sn() const { return sn_; }
+
+ private:
+  const Fleet& fleet_;
+  size_t steps_ingested_ = 0;
+  // Registered segment sources, sorted by segment id (matching the batch
+  // storage-side rollup order).
+  std::vector<std::pair<uint32_t, const RwSeries*>> segments_;
+
+  std::vector<RwSeries> vd_;
+  std::vector<RwSeries> vm_;
+  std::vector<RwSeries> user_;
+  std::vector<RwSeries> wt_;
+  std::vector<RwSeries> cn_;
+  std::vector<RwSeries> bs_;
+  std::vector<RwSeries> sn_;
+};
+
+}  // namespace ebs
+
+#endif  // SRC_TRACE_STREAMING_AGGREGATE_H_

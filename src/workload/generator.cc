@@ -1,99 +1,11 @@
 #include "src/workload/generator.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "src/trace/records.h"
-#include "src/util/distributions.h"
-#include "src/workload/spatial.h"
-#include "src/workload/temporal.h"
+#include "src/workload/vd_stream.h"
 
 namespace ebs {
-
-namespace {
-
-constexpr double kBytesPerMB = 1e6;
-
-// Gamma(shape, 1) via Marsaglia-Tsang; used for Dirichlet splits.
-double SampleGamma(double shape, Rng& rng) {
-  if (shape < 1.0) {
-    // Boost via Gamma(shape+1) * U^(1/shape).
-    const double u = std::max(1e-12, rng.NextDouble());
-    return SampleGamma(shape + 1.0, rng) * std::pow(u, 1.0 / shape);
-  }
-  const double d = shape - 1.0 / 3.0;
-  const double c = 1.0 / std::sqrt(9.0 * d);
-  while (true) {
-    double x;
-    double v;
-    do {
-      x = rng.NextGaussian();
-      v = 1.0 + c * x;
-    } while (v <= 0.0);
-    v = v * v * v;
-    const double u = rng.NextDouble();
-    if (u < 1.0 - 0.0331 * x * x * x * x) {
-      return d * v;
-    }
-    if (std::log(std::max(1e-300, u)) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
-      return d * v;
-    }
-  }
-}
-
-// Dirichlet(shape, ..., shape) over n entries. Small shapes concentrate the
-// mass on one entry.
-std::vector<double> SampleDirichlet(size_t n, double shape, Rng& rng) {
-  std::vector<double> weights(n);
-  double total = 0.0;
-  for (double& w : weights) {
-    w = SampleGamma(shape, rng);
-    total += w;
-  }
-  if (total <= 0.0) {
-    weights.assign(n, 1.0 / static_cast<double>(n));
-    return weights;
-  }
-  for (double& w : weights) {
-    w /= total;
-  }
-  return weights;
-}
-
-// Rounds an IO size to a 4 KiB multiple in [4 KiB, 4 MiB].
-uint32_t QuantizeIoSize(double bytes) {
-  const double clamped = std::clamp(bytes, static_cast<double>(kPageBytes), 4.0 * 1024 * 1024);
-  const uint64_t pages = std::max<uint64_t>(1, static_cast<uint64_t>(clamped) / kPageBytes);
-  return static_cast<uint32_t>(pages * kPageBytes);
-}
-
-struct QpSplit {
-  // Per-op normalized weights over the VD's QPs.
-  std::vector<double> read;
-  std::vector<double> write;
-};
-
-// §4.2 Type II/III behaviour: a sizeable share of VDs funnel all traffic to a
-// single QP (blk-mq scheduling policy "none" + a single IO thread); the rest
-// use skewed Dirichlet splits, with writes far more concentrated than reads
-// (one WAL/append writer vs parallel readers; paper: CoV_vd2qp 0.81 write vs
-// 0.39 read).
-QpSplit SampleQpSplit(size_t qp_count, Rng& rng) {
-  QpSplit split;
-  if (qp_count == 1 || rng.NextBool(0.30)) {
-    split.read.assign(qp_count, 0.0);
-    split.write.assign(qp_count, 0.0);
-    const size_t chosen = static_cast<size_t>(rng.NextBounded(qp_count));
-    split.read[chosen] = 1.0;
-    split.write[chosen] = 1.0;
-    return split;
-  }
-  split.read = SampleDirichlet(qp_count, 1.5, rng);
-  split.write = SampleDirichlet(qp_count, 0.2, rng);
-  return split;
-}
-
-}  // namespace
 
 double WorkloadResult::TotalDeliveredBytes(OpType op) const {
   double total = 0.0;
@@ -123,245 +35,20 @@ WorkloadResult WorkloadGenerator::Generate() const {
   const LatencyModel latency_model(config_.latency);
   Rng root(config_.seed);
 
+  const SegmentSeriesResolver segment_resolver = [&result](SegmentId id) {
+    return &result.metrics.MutableSegmentSeries(id);
+  };
+
+  // Every VM's randomness comes from root.Fork(vm.id), and every metric series
+  // belongs to exactly one VD, so building the streams first and stepping them
+  // afterwards produces bit-identical output to the original single-pass loop.
   for (const Vm& vm : fleet_.vms) {
-    Rng vm_rng = root.Fork(vm.id.value());
-    const AppProfile& profile = GetAppProfile(vm.app);
-
-    const bool read_active = vm_rng.NextBool(profile.read_active_prob);
-    const bool write_active = vm_rng.NextBool(profile.write_active_prob);
-    const LognormalDistribution read_dist(profile.read_rate_mu, profile.read_rate_sigma);
-    const LognormalDistribution write_dist(profile.write_rate_mu, profile.write_rate_sigma);
-    const double vm_read_bps =
-        read_active ? read_dist.Sample(vm_rng) * kBytesPerMB * config_.rate_scale : 0.0;
-    const double vm_write_bps =
-        write_active ? write_dist.Sample(vm_rng) * kBytesPerMB * config_.rate_scale : 0.0;
-    const bool subsecond_cluster = vm_rng.NextBool(profile.subsecond_cluster_prob);
-
-    // One data disk dominates (§4.2: VM-to-VD CoV ~= 0.97).
-    const std::vector<double> vd_weights = SampleDirichlet(vm.vds.size(), 0.08, vm_rng);
-
-    for (size_t d = 0; d < vm.vds.size(); ++d) {
-      const Vd& vd = fleet_.vds[vm.vds[d].value()];
-      Rng vd_rng = vm_rng.Fork(d + 1);
-
-      double vd_read_bps = vm_read_bps * vd_weights[d];
-      double vd_write_bps = vm_write_bps * vd_weights[d];
-      if (config_.max_vd_mean_write_rate_mbps > 0.0) {
-        vd_write_bps =
-            std::min(vd_write_bps, config_.max_vd_mean_write_rate_mbps * kBytesPerMB);
-      }
-      VdGroundTruth& truth = result.vd_truth[vd.id.value()];
-      truth.read_active = vd_read_bps > 0.0;
-      truth.write_active = vd_write_bps > 0.0;
-      truth.mean_read_bps = vd_read_bps;
-      truth.mean_write_bps = vd_write_bps;
-      if (vd_read_bps <= 0.0 && vd_write_bps <= 0.0) {
-        continue;
-      }
-
-      // Ablations: structural ingredients can be switched off individually.
-      AppProfile effective_profile = profile;
-      effective_profile.hot_prob_read_median *= config_.hot_prob_scale;
-      effective_profile.hot_prob_write_median *= config_.hot_prob_scale;
-      effective_profile.seq_header_rewrite_prob *= config_.hot_prob_scale;
-
-      const double window_seconds = static_cast<double>(steps) * dt;
-      VdSpatialModel spatial(vd, effective_profile, vd_read_bps * window_seconds,
-                             vd_write_bps * window_seconds, vd_rng);
-      truth.hot_offset = spatial.hot_offset();
-      truth.hot_bytes = spatial.hot_bytes();
-      truth.hot_prob_read = spatial.hot_prob(OpType::kRead);
-      truth.hot_prob_write = spatial.hot_prob(OpType::kWrite);
-
-      const double vd_cap_bps = vd.throughput_cap_mbps * kBytesPerMB * config_.cap_scale;
-      const TimeSeries read_series =
-          config_.episodic_reads
-              ? temporal.Generate(OpType::kRead, vd_read_bps, vd_cap_bps, profile, vd_rng)
-              : temporal.Generate(OpType::kWrite, vd_read_bps, 0.0, profile, vd_rng);
-      const TimeSeries write_series =
-          temporal.Generate(OpType::kWrite, vd_write_bps, /*peak_ceiling_bps=*/0.0, profile,
-                            vd_rng);
-
-      QpSplit qp_split = SampleQpSplit(vd.qps.size(), vd_rng);
-      if (!config_.qp_concentration) {
-        const double uniform = 1.0 / static_cast<double>(vd.qps.size());
-        qp_split.read.assign(vd.qps.size(), uniform);
-        qp_split.write.assign(vd.qps.size(), uniform);
-      }
-      // Reads: each episode is a scan issued by 1..k parallel reader threads,
-      // each on its own QP (blk-mq maps threads to queues); the set changes
-      // between episodes. Writers stay pinned. A VD whose split is fully
-      // concentrated (blk-mq "none" + one thread) keeps reads pinned too.
-      const bool read_churn =
-          vd.qps.size() > 1 &&
-          std::count(qp_split.read.begin(), qp_split.read.end(), 0.0) == 0;
-      std::vector<size_t> read_active_qps = {0};
-      bool read_was_active = false;
-      auto draw_read_qps = [&] {
-        const size_t k = vd.qps.size();
-        const size_t threads = 1 + static_cast<size_t>(vd_rng.NextBounded(k));
-        const size_t start = static_cast<size_t>(vd_rng.NextBounded(k));
-        read_active_qps.clear();
-        for (size_t i = 0; i < threads; ++i) {
-          read_active_qps.push_back((start + i) % k);
-        }
-      };
-
-      // Per-VD IO size medians, jittered around the app profile.
-      const double read_io_median =
-          profile.read_io_kib_median * kKiB * std::exp(0.3 * vd_rng.NextGaussian());
-      const double write_io_median =
-          profile.write_io_kib_median * kKiB * std::exp(0.3 * vd_rng.NextGaussian());
-
-      // Resolve active segment series pointers once per (vd, op).
-      auto resolve = [&](OpType op) {
-        std::vector<std::pair<RwSeries*, double>> targets;
-        for (const auto& [seg_index, weight] : spatial.ActiveSegments(op)) {
-          const SegmentId seg_id = vd.segments[seg_index];
-          targets.emplace_back(&result.metrics.MutableSegmentSeries(seg_id), weight);
-        }
-        return targets;
-      };
-      const auto read_targets = resolve(OpType::kRead);
-      const auto write_targets = resolve(OpType::kWrite);
-
-      const double cap_bps = vd.throughput_cap_mbps * kBytesPerMB * config_.cap_scale;
-      const double cap_iops = vd.iops_cap * config_.cap_scale;
-
+    VmStreamSet streams =
+        BuildVmStreams(fleet_, config_, vm, temporal, latency_model, root, segment_resolver,
+                       &result.metrics.qp_series, &result.offered_vd, &result.vd_truth);
+    for (const auto& stream : streams.streams) {
       for (size_t t = 0; t < steps; ++t) {
-        double read_bytes = read_series[t] * dt;
-        double write_bytes = write_series[t] * dt;
-        if (read_bytes <= 0.0) {
-          read_was_active = false;
-        } else if (!read_was_active) {
-          // New read episode: a fresh set of reader threads issues it.
-          if (read_churn) {
-            draw_read_qps();
-          }
-          read_was_active = true;
-        }
-        if (read_bytes <= 0.0 && write_bytes <= 0.0) {
-          continue;
-        }
-
-        // Per-step IO sizes; bursts of small IOs can trip the IOPS cap even
-        // when throughput is moderate.
-        const double read_io =
-            std::max<double>(kPageBytes, read_io_median * std::exp(0.25 * vd_rng.NextGaussian()));
-        const double write_io = std::max<double>(
-            kPageBytes, write_io_median * std::exp(0.25 * vd_rng.NextGaussian()));
-        double read_ops = read_bytes / read_io;
-        double write_ops = write_bytes / write_io;
-
-        RwSeries& offered = result.offered_vd[vd.id.value()];
-        offered.read_bytes[t] = read_bytes;
-        offered.write_bytes[t] = write_bytes;
-        offered.read_ops[t] = read_ops;
-        offered.write_ops[t] = write_ops;
-
-        if (config_.apply_throttle) {
-          // Joint read+write caps, as in production (§5.2).
-          const double bytes_total = read_bytes + write_bytes;
-          const double ops_total = read_ops + write_ops;
-          double scale = 1.0;
-          if (cap_bps > 0.0 && bytes_total > cap_bps * dt) {
-            scale = std::min(scale, cap_bps * dt / bytes_total);
-          }
-          if (cap_iops > 0.0 && ops_total > cap_iops * dt) {
-            scale = std::min(scale, cap_iops * dt / ops_total);
-          }
-          read_bytes *= scale;
-          write_bytes *= scale;
-          read_ops *= scale;
-          write_ops *= scale;
-        }
-
-        // Compute-domain metrics (per QP). Reads of a churning VD split
-        // evenly across the episode's reader QPs; writes follow the static
-        // split.
-        if (read_bytes > 0.0 && read_churn) {
-          const double share = 1.0 / static_cast<double>(read_active_qps.size());
-          for (const size_t q : read_active_qps) {
-            RwSeries& qp = result.metrics.qp_series[vd.qps[q].value()];
-            qp.read_bytes[t] += read_bytes * share;
-            qp.read_ops[t] += read_ops * share;
-          }
-        }
-        for (size_t q = 0; q < vd.qps.size(); ++q) {
-          RwSeries& qp = result.metrics.qp_series[vd.qps[q].value()];
-          if (!read_churn && qp_split.read[q] > 0.0 && read_bytes > 0.0) {
-            qp.read_bytes[t] += read_bytes * qp_split.read[q];
-            qp.read_ops[t] += read_ops * qp_split.read[q];
-          }
-          if (qp_split.write[q] > 0.0 && write_bytes > 0.0) {
-            qp.write_bytes[t] += write_bytes * qp_split.write[q];
-            qp.write_ops[t] += write_ops * qp_split.write[q];
-          }
-        }
-
-        // Storage-domain metrics (per segment).
-        if (read_bytes > 0.0) {
-          for (const auto& [series, weight] : read_targets) {
-            series->read_bytes[t] += read_bytes * weight;
-            series->read_ops[t] += read_ops * weight;
-          }
-        }
-        if (write_bytes > 0.0) {
-          for (const auto& [series, weight] : write_targets) {
-            series->write_bytes[t] += write_bytes * weight;
-            series->write_ops[t] += write_ops * weight;
-          }
-        }
-
-        // Sampled traces (thinned Poisson from the delivered stream).
-        for (const OpType op : {OpType::kRead, OpType::kWrite}) {
-          const double ops = op == OpType::kRead ? read_ops : write_ops;
-          const double io_size = op == OpType::kRead ? read_io : write_io;
-          const uint64_t samples = vd_rng.NextPoisson(ops * config_.sampling_rate);
-          if (samples == 0) {
-            continue;
-          }
-          const double cluster_center = vd_rng.NextUniform(0.0, 0.95);
-          const auto& qp_weights = op == OpType::kRead ? qp_split.read : qp_split.write;
-          for (uint64_t s = 0; s < samples; ++s) {
-            TraceRecord record;
-            double sub = subsecond_cluster
-                             ? cluster_center + vd_rng.NextExponential(1.0 / 0.004)
-                             : vd_rng.NextDouble();
-            sub = std::min(sub, 0.999999);
-            record.timestamp = (static_cast<double>(t) + sub) * dt;
-            record.op = op;
-            record.size_bytes =
-                QuantizeIoSize(io_size * std::exp(0.15 * vd_rng.NextGaussian()));
-            record.offset = spatial.SampleOffset(op, record.size_bytes, vd_rng);
-            record.user = vd.user;
-            record.vm = vd.vm;
-            record.vd = vd.id;
-            // QP choice: churning reads pin to the episode's QP; otherwise
-            // follow the static split weights.
-            size_t q;
-            if (op == OpType::kRead && read_churn) {
-              q = read_active_qps[vd_rng.NextBounded(read_active_qps.size())];
-            } else {
-              double u = vd_rng.NextDouble();
-              q = 0;
-              for (; q + 1 < qp_weights.size(); ++q) {
-                if (u < qp_weights[q]) {
-                  break;
-                }
-                u -= qp_weights[q];
-              }
-            }
-            record.qp = vd.qps[q];
-            record.wt = fleet_.qps[record.qp.value()].bound_wt;
-            record.cn = fleet_.qps[record.qp.value()].node;
-            record.segment = fleet_.SegmentForOffset(vd.id, record.offset);
-            record.bs = fleet_.segments[record.segment.value()].server;
-            record.sn = fleet_.block_servers[record.bs.value()].node;
-            record.latency = latency_model.Sample(op, vd_rng);
-            result.traces.records.push_back(record);
-          }
-        }
+        stream->Step(t, &result.traces.records);
       }
     }
   }

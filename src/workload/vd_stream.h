@@ -1,0 +1,109 @@
+// Stepwise per-VD traffic streams.
+//
+// The fleet synthesizer's unit of randomness is the VM: every draw a VM's
+// traffic needs comes from Rng::Fork(vm.id), so two VMs never share generator
+// state. VdTrafficStream exposes that structure as an incremental API — build
+// the streams of a VM once (the expensive part: spatial model, whole-window
+// rate processes, QP split), then generate one second at a time. The batch
+// WorkloadGenerator and the streaming ReplayEngine share this code path, which
+// is what makes their outputs bit-identical for the same seed: the stream
+// consumes its Rng in exactly the order the original single-pass generator
+// did, and every metric target it writes belongs to exactly one VD, so
+// concurrently stepped streams of different VDs never alias.
+
+#ifndef SRC_WORKLOAD_VD_STREAM_H_
+#define SRC_WORKLOAD_VD_STREAM_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/topology/fleet.h"
+#include "src/topology/latency.h"
+#include "src/trace/records.h"
+#include "src/workload/app_profile.h"
+#include "src/workload/generator.h"
+#include "src/workload/spatial.h"
+#include "src/workload/temporal.h"
+
+namespace ebs {
+
+// Maps a segment to the series its traffic accumulates into. Batch mode
+// resolves into MetricDataset::segment_series; the replay engine resolves
+// into shard-local storage so worker threads never mutate a shared map.
+using SegmentSeriesResolver = std::function<RwSeries*(SegmentId)>;
+
+// Where one VD's generated traffic lands. The caller owns every pointed-to
+// series and guarantees it outlives the stream. No two VDs ever share a
+// target series (QPs and segments belong to exactly one VD).
+struct VdStreamTargets {
+  RwSeries* offered = nullptr;   // per-VD offered (pre-throttle) load
+  std::vector<RwSeries*> qps;    // one per VD QP, in QP order
+};
+
+// One VD's traffic source. Step(t) must be called with strictly increasing t;
+// streams of different VDs are independent and may be stepped concurrently
+// from different threads.
+class VdTrafficStream {
+ public:
+  VdTrafficStream(const Fleet& fleet, const WorkloadConfig& config, const Vd& vd,
+                  const AppProfile& profile, bool subsecond_cluster, double vd_read_bps,
+                  double vd_write_bps, const RateProcessGenerator& temporal,
+                  const LatencyModel& latency_model, Rng vd_rng, VdStreamTargets targets,
+                  const SegmentSeriesResolver& segment_resolver, VdGroundTruth* truth);
+
+  // Generates second `t`: writes the step's metric deltas into the targets
+  // and appends the step's sampled IO records to *samples.
+  void Step(size_t t, std::vector<TraceRecord>* samples);
+
+  VdId vd_id() const { return vd_.id; }
+
+ private:
+  const Fleet& fleet_;
+  const WorkloadConfig& config_;
+  const Vd& vd_;
+  const AppProfile& profile_;
+  const LatencyModel& latency_model_;
+  bool subsecond_cluster_ = false;
+  VdStreamTargets targets_;
+  // Per-op (series, weight) pairs over the VD's active segments, resolved
+  // once at construction (mirrors the batch generator's `resolve` step).
+  std::vector<std::pair<RwSeries*, double>> read_segments_;
+  std::vector<std::pair<RwSeries*, double>> write_segments_;
+
+  Rng rng_;
+  VdSpatialModel spatial_;
+  TimeSeries read_series_;
+  TimeSeries write_series_;
+  std::vector<double> qp_read_;
+  std::vector<double> qp_write_;
+  bool read_churn_ = false;
+  std::vector<size_t> read_active_qps_ = {0};
+  bool read_was_active_ = false;
+  double read_io_median_ = 0.0;
+  double write_io_median_ = 0.0;
+  double cap_bps_ = 0.0;
+  double cap_iops_ = 0.0;
+};
+
+// The streams of one VM's active VDs, in VD order.
+struct VmStreamSet {
+  std::vector<std::unique_ptr<VdTrafficStream>> streams;
+};
+
+// Builds the traffic streams of one VM, consuming the VM-level randomness
+// (active flags, volumes, VD Dirichlet split) exactly as the batch generator
+// does. qp_series / offered_vd / vd_truth must be pre-sized to the fleet;
+// only this VM's slots are written.
+VmStreamSet BuildVmStreams(const Fleet& fleet, const WorkloadConfig& config, const Vm& vm,
+                           const RateProcessGenerator& temporal,
+                           const LatencyModel& latency_model, const Rng& root,
+                           const SegmentSeriesResolver& segment_resolver,
+                           std::vector<RwSeries>* qp_series, std::vector<RwSeries>* offered_vd,
+                           std::vector<VdGroundTruth>* vd_truth);
+
+}  // namespace ebs
+
+#endif  // SRC_WORKLOAD_VD_STREAM_H_

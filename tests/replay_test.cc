@@ -1,0 +1,326 @@
+// Replay engine determinism and online-sink equivalence tests.
+//
+// The load-bearing invariants: (1) the streaming engine's datasets are
+// bit-identical to the batch WorkloadGenerator's for the same config, for any
+// worker-thread count; (2) the online mitigation sinks reproduce their batch
+// counterparts exactly.
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cache/hotspot.h"
+#include "src/cache/online_hotspot.h"
+#include "src/core/simulation.h"
+#include "src/core/streaming.h"
+#include "src/hypervisor/online_balance.h"
+#include "src/hypervisor/wt_balance.h"
+#include "src/replay/bounded_queue.h"
+#include "src/replay/engine.h"
+#include "src/replay/sinks.h"
+#include "src/throttle/online_lending.h"
+#include "src/throttle/throttle.h"
+
+namespace ebs {
+namespace {
+
+SimulationConfig SmallConfig() {
+  SimulationConfig config = DcPreset(1);
+  config.fleet.user_count = 40;
+  config.workload.window_steps = 120;
+  return config;
+}
+
+void ExpectSeriesEqual(const TimeSeries& a, const TimeSeries& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t t = 0; t < a.size(); ++t) {
+    ASSERT_EQ(a[t], b[t]) << what << " at step " << t;
+  }
+}
+
+void ExpectRwEqual(const RwSeries& a, const RwSeries& b, const char* what) {
+  ExpectSeriesEqual(a.read_bytes, b.read_bytes, what);
+  ExpectSeriesEqual(a.write_bytes, b.write_bytes, what);
+  ExpectSeriesEqual(a.read_ops, b.read_ops, what);
+  ExpectSeriesEqual(a.write_ops, b.write_ops, what);
+}
+
+void ExpectRollupEqual(const std::vector<RwSeries>& a, const std::vector<RwSeries>& b,
+                       const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ExpectRwEqual(a[i], b[i], what);
+  }
+}
+
+TEST(BoundedQueueTest, OrderedDelivery) {
+  BoundedQueue<int> queue(4);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(queue.Push(int(i)));
+  }
+  int value = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(queue.Pop(&value));
+    EXPECT_EQ(value, i);
+  }
+}
+
+TEST(BoundedQueueTest, CloseDrainsPendingThenFails) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.Push(7));
+  queue.Close();
+  EXPECT_FALSE(queue.Push(8));
+  int value = 0;
+  EXPECT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, 7);
+  EXPECT_FALSE(queue.Pop(&value));
+}
+
+TEST(BoundedQueueTest, BackpressureAcrossThreads) {
+  BoundedQueue<int> queue(2);
+  constexpr int kItems = 200;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      ASSERT_TRUE(queue.Push(int(i)));
+    }
+    queue.Close();
+  });
+  int expected = 0;
+  int value = -1;
+  while (queue.Pop(&value)) {
+    EXPECT_EQ(value, expected++);
+  }
+  EXPECT_EQ(expected, kItems);
+  producer.join();
+}
+
+TEST(ReplayEngineTest, StreamingMatchesBatchBitIdentical) {
+  const SimulationConfig config = SmallConfig();
+  const EbsSimulation batch(config);
+  StreamingSimulation stream(config, {.worker_threads = 4, .queue_capacity = 4});
+  stream.Run();
+
+  // Raw datasets.
+  ASSERT_EQ(stream.metrics().window_steps, batch.metrics().window_steps);
+  ExpectRollupEqual(stream.metrics().qp_series, batch.metrics().qp_series, "qp");
+  ExpectRollupEqual(stream.workload().offered_vd, batch.workload().offered_vd, "offered");
+  ASSERT_EQ(stream.metrics().segment_series.size(), batch.metrics().segment_series.size());
+
+  // Entity rollups at every level, incremental vs batch.
+  ExpectRollupEqual(stream.VdSeries(), batch.VdSeries(), "vd");
+  ExpectRollupEqual(stream.VmSeries(), batch.VmSeries(), "vm");
+  ExpectRollupEqual(stream.UserSeries(), batch.UserSeries(), "user");
+  ExpectRollupEqual(stream.WtSeries(), batch.WtSeries(), "wt");
+  ExpectRollupEqual(stream.CnSeries(), batch.CnSeries(), "cn");
+  ExpectRollupEqual(stream.BsSeries(), batch.BsSeries(), "bs");
+  ExpectRollupEqual(stream.SnSeries(), batch.SnSeries(), "sn");
+  ExpectRollupEqual(stream.SegSeries(), batch.SegSeries(), "segment");
+
+  // Trace stream: same multiset of records (the batch dataset is sorted by
+  // timestamp only, so compare canonically ordered copies).
+  ASSERT_EQ(stream.traces().records.size(), batch.traces().records.size());
+  EXPECT_EQ(stream.traces().CountOps(OpType::kRead), batch.traces().CountOps(OpType::kRead));
+  EXPECT_EQ(stream.traces().CountOps(OpType::kWrite), batch.traces().CountOps(OpType::kWrite));
+  EXPECT_EQ(stream.traces().SampledBytes(OpType::kRead),
+            batch.traces().SampledBytes(OpType::kRead));
+  EXPECT_EQ(stream.traces().SampledBytes(OpType::kWrite),
+            batch.traces().SampledBytes(OpType::kWrite));
+  auto canonical = [](const TraceDataset& traces) {
+    std::vector<std::tuple<double, uint32_t, uint64_t, uint32_t, int>> keys;
+    keys.reserve(traces.records.size());
+    for (const TraceRecord& r : traces.records) {
+      keys.emplace_back(r.timestamp, r.vd.value(), r.offset, r.size_bytes,
+                        static_cast<int>(r.op));
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  EXPECT_EQ(canonical(stream.traces()), canonical(batch.traces()));
+}
+
+TEST(ReplayEngineTest, WorkerCountDoesNotChangeTheStream) {
+  const SimulationConfig config = SmallConfig();
+
+  StreamingSimulation one(config, {.worker_threads = 1, .queue_capacity = 3});
+  one.Run();
+  StreamingSimulation eight(config, {.worker_threads = 8, .queue_capacity = 3});
+  eight.Run();
+
+  EXPECT_EQ(one.stats().shards, 1u);
+  EXPECT_EQ(eight.stats().shards, 8u);
+  EXPECT_EQ(one.stats().events, eight.stats().events);
+
+  // The merged event stream is identical record for record — order included.
+  const auto& a = one.traces().records;
+  const auto& b = eight.traces().records;
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].timestamp, b[i].timestamp) << i;
+    ASSERT_EQ(a[i].vd.value(), b[i].vd.value()) << i;
+    ASSERT_EQ(a[i].qp.value(), b[i].qp.value()) << i;
+    ASSERT_EQ(a[i].segment.value(), b[i].segment.value()) << i;
+    ASSERT_EQ(a[i].offset, b[i].offset) << i;
+    ASSERT_EQ(a[i].size_bytes, b[i].size_bytes) << i;
+    ASSERT_EQ(a[i].op, b[i].op) << i;
+    ASSERT_EQ(a[i].latency.Total(), b[i].latency.Total()) << i;
+  }
+
+  ExpectRollupEqual(one.metrics().qp_series, eight.metrics().qp_series, "qp");
+  ExpectRollupEqual(one.VdSeries(), eight.VdSeries(), "vd");
+  ExpectRollupEqual(one.WtSeries(), eight.WtSeries(), "wt");
+  ExpectRollupEqual(one.SnSeries(), eight.SnSeries(), "sn");
+}
+
+TEST(ReplayEngineTest, OnlineSinksMatchBatchCounterparts) {
+  SimulationConfig config = SmallConfig();
+  const EbsSimulation batch(config);
+
+  // Batch references.
+  ThrottleConfig throttle_config;
+  throttle_config.cap_scale = 0.25;  // tight caps so lending has work to do
+  const std::vector<SharingGroup> groups = MultiVdVmGroups(batch.fleet());
+  const std::vector<double> batch_gains =
+      SimulateLending(batch.fleet(), batch.workload().offered_vd, groups, throttle_config);
+  const std::vector<double> batch_cov =
+      WtCovSamples(batch.fleet(), batch.metrics(), OpType::kWrite, 30);
+
+  // Online pipeline: throttler + balancer observer + per-VD caches, one pass.
+  StreamingSimulation stream(config, {.worker_threads = 4});
+  OnlineLendingSink lending(MultiVdVmGroups(stream.fleet()), throttle_config);
+  OnlineWtCovSink balance(OpType::kWrite, 30);
+  OnlineCacheSink caches(CachePolicy::kLru, 16 * kMiB);
+  stream.AddSink(&lending);
+  stream.AddSink(&balance);
+  stream.AddSink(&caches);
+  stream.Run();
+
+  // Lending gains: exact, order included.
+  ASSERT_EQ(lending.gains().size(), batch_gains.size());
+  EXPECT_GT(batch_gains.size(), 0u);
+  for (size_t i = 0; i < batch_gains.size(); ++i) {
+    EXPECT_EQ(lending.gains()[i], batch_gains[i]) << i;
+  }
+
+  // WT-CoV samples: exact, order included.
+  ASSERT_EQ(balance.samples().size(), batch_cov.size());
+  EXPECT_GT(batch_cov.size(), 0u);
+  for (size_t i = 0; i < batch_cov.size(); ++i) {
+    EXPECT_EQ(balance.samples()[i], batch_cov[i]) << i;
+  }
+
+  // Per-VD cache replay: equal to the offline replay of the collected trace.
+  const VdTraceIndex index(batch.fleet(), batch.traces());
+  const std::vector<VdId> active = index.ActiveVds(1);
+  EXPECT_GT(active.size(), 0u);
+  for (const VdId vd : active) {
+    const CacheReplayResult offline = ReplayVdCache(index.ForVd(vd), /*capacity_bytes=*/0,
+                                                    16 * kMiB, CachePolicy::kLru);
+    const CacheReplayResult online = caches.ResultFor(vd);
+    EXPECT_EQ(online.page_accesses, offline.page_accesses) << vd.value();
+    EXPECT_EQ(online.hit_ratio, offline.hit_ratio) << vd.value();
+  }
+}
+
+// A sink recording the engine's lifecycle to validate the observer contract.
+class LifecycleProbe : public ReplaySink {
+ public:
+  void OnStart(const Fleet& /*fleet*/, size_t window_steps, double /*step_seconds*/) override {
+    ++starts;
+    expected_steps = window_steps;
+  }
+  void OnEvent(const ReplayEvent& event) override {
+    ++events;
+    if (has_previous) {
+      ordered = ordered && !ReplayEventBefore(event, previous);
+    }
+    previous = event;
+    has_previous = true;
+    EXPECT_EQ(event.step, steps_completed) << "event outside its step";
+  }
+  void OnStepComplete(const ReplayStepView& view) override {
+    EXPECT_EQ(view.step, steps_completed);
+    ++steps_completed;
+  }
+  void OnFinish() override { ++finishes; }
+
+  int starts = 0;
+  int finishes = 0;
+  size_t expected_steps = 0;
+  size_t steps_completed = 0;
+  uint64_t events = 0;
+  bool ordered = true;
+  bool has_previous = false;
+  ReplayEvent previous;
+};
+
+TEST(ReplayEngineTest, SinkLifecycleAndStreamOrder) {
+  SimulationConfig config = SmallConfig();
+  config.fleet.user_count = 20;
+  config.workload.window_steps = 60;
+  const Fleet fleet = BuildFleet(config.fleet);
+
+  ReplayEngine engine(fleet, config.workload, {.worker_threads = 3, .queue_capacity = 2});
+  LifecycleProbe probe;
+  ThroughputProbeSink counter;
+  engine.AddSink(&probe);
+  engine.AddSink(&counter);
+  const WorkloadResult result = engine.Run();
+
+  EXPECT_EQ(probe.starts, 1);
+  EXPECT_EQ(probe.finishes, 1);
+  EXPECT_EQ(probe.steps_completed, probe.expected_steps);
+  EXPECT_TRUE(probe.ordered) << "merged stream not in ReplayEventBefore order";
+  EXPECT_EQ(probe.events, engine.stats().events);
+  EXPECT_EQ(counter.events(), engine.stats().events);
+  EXPECT_EQ(counter.read_ops() + counter.write_ops(), counter.events());
+  // Run() leaves the trace dataset empty by design.
+  EXPECT_TRUE(result.traces.records.empty());
+  EXPECT_EQ(result.metrics.qp_series.size(), fleet.qps.size());
+}
+
+TEST(StreamingSimulationTest, GuardsAgainstMisuse) {
+  SimulationConfig config = SmallConfig();
+  config.fleet.user_count = 4;
+  config.workload.window_steps = 10;
+  StreamingSimulation sim(config);
+  EXPECT_THROW(sim.traces(), std::logic_error);
+  EXPECT_THROW(sim.VdSeries(), std::logic_error);
+  sim.Run();
+  EXPECT_THROW(sim.Run(), std::logic_error);
+  ThroughputProbeSink sink;
+  EXPECT_THROW(sim.AddSink(&sink), std::logic_error);
+  EXPECT_EQ(sim.VdSeries().size(), sim.fleet().vds.size());
+}
+
+TEST(SimulationTest, RollupCachesAreThreadSafe) {
+  SimulationConfig config = SmallConfig();
+  config.fleet.user_count = 10;
+  config.workload.window_steps = 30;
+  const EbsSimulation sim(config);
+
+  // Hammer every lazy accessor from many threads; under EBS_SANITIZE=thread
+  // this is the regression test for the once_flag-guarded caches.
+  std::atomic<size_t> total{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      total += sim.VdSeries().size() + sim.VmSeries().size() + sim.UserSeries().size() +
+               sim.WtSeries().size() + sim.CnSeries().size() + sim.BsSeries().size() +
+               sim.SnSeries().size() + sim.SegSeries().size();
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const size_t once = sim.VdSeries().size() + sim.VmSeries().size() + sim.UserSeries().size() +
+                      sim.WtSeries().size() + sim.CnSeries().size() + sim.BsSeries().size() +
+                      sim.SnSeries().size() + sim.SegSeries().size();
+  EXPECT_EQ(total.load(), once * 8);
+}
+
+}  // namespace
+}  // namespace ebs
