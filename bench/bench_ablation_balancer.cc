@@ -11,6 +11,7 @@
 #include "src/core/simulation.h"
 #include "src/ml/arima.h"
 #include "src/ml/gbt.h"
+#include "src/obs/report.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
 
@@ -107,6 +108,8 @@ void Run() {
 }  // namespace
 
 int main() {
+  ebs::obs::InitRunReportFromEnv();
   Run();
+  ebs::obs::EmitRunReport(std::cout);
   return 0;
 }

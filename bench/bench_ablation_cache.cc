@@ -11,6 +11,7 @@
 #include "src/cache/hybrid.h"
 #include "src/cache/prefetch.h"
 #include "src/core/simulation.h"
+#include "src/obs/report.h"
 #include "src/trace/gc_model.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
@@ -149,6 +150,8 @@ void Run() {
 }  // namespace
 
 int main() {
+  ebs::obs::InitRunReportFromEnv();
   Run();
+  ebs::obs::EmitRunReport(std::cout);
   return 0;
 }

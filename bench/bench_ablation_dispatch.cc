@@ -13,6 +13,7 @@
 
 #include "src/core/simulation.h"
 #include "src/hypervisor/fairness.h"
+#include "src/obs/report.h"
 #include "src/util/table.h"
 
 namespace {
@@ -51,6 +52,8 @@ void Run() {
 }  // namespace
 
 int main() {
+  ebs::obs::InitRunReportFromEnv();
   Run();
+  ebs::obs::EmitRunReport(std::cout);
   return 0;
 }

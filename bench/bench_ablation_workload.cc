@@ -11,6 +11,7 @@
 #include "src/cache/hotspot.h"
 #include "src/core/simulation.h"
 #include "src/hypervisor/wt_balance.h"
+#include "src/obs/report.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
 
@@ -75,6 +76,8 @@ void Run() {
 }  // namespace
 
 int main() {
+  ebs::obs::InitRunReportFromEnv();
   Run();
+  ebs::obs::EmitRunReport(std::cout);
   return 0;
 }

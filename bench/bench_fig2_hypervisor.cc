@@ -9,6 +9,7 @@
 
 #include "src/core/simulation.h"
 #include "src/hypervisor/wt_balance.h"
+#include "src/obs/report.h"
 #include "src/util/histogram.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
@@ -100,6 +101,8 @@ void Run() {
 }  // namespace
 
 int main() {
+  ebs::obs::InitRunReportFromEnv();
   Run();
+  ebs::obs::EmitRunReport(std::cout);
   return 0;
 }

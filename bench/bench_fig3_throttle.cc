@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "src/core/simulation.h"
+#include "src/obs/report.h"
 #include "src/throttle/throttle.h"
 #include "src/util/histogram.h"
 #include "src/util/stats.h"
@@ -118,6 +119,8 @@ void Run() {
 }  // namespace
 
 int main() {
+  ebs::obs::InitRunReportFromEnv();
   Run();
+  ebs::obs::EmitRunReport(std::cout);
   return 0;
 }

@@ -9,6 +9,7 @@
 
 #include "src/balancer/prediction.h"
 #include "src/core/simulation.h"
+#include "src/obs/report.h"
 #include "src/util/table.h"
 
 namespace {
@@ -57,6 +58,8 @@ void Run() {
 }  // namespace
 
 int main() {
+  ebs::obs::InitRunReportFromEnv();
   Run();
+  ebs::obs::EmitRunReport(std::cout);
   return 0;
 }

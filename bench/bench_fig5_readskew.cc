@@ -13,6 +13,7 @@
 #include "src/analysis/skewness.h"
 #include "src/balancer/balancer.h"
 #include "src/core/simulation.h"
+#include "src/obs/report.h"
 #include "src/util/histogram.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
@@ -140,6 +141,8 @@ void Run() {
 }  // namespace
 
 int main() {
+  ebs::obs::InitRunReportFromEnv();
   Run();
+  ebs::obs::EmitRunReport(std::cout);
   return 0;
 }

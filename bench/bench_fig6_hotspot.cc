@@ -10,6 +10,7 @@
 
 #include "src/cache/hotspot.h"
 #include "src/core/simulation.h"
+#include "src/obs/report.h"
 #include "src/util/histogram.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
@@ -90,6 +91,8 @@ void Run() {
 }  // namespace
 
 int main() {
+  ebs::obs::InitRunReportFromEnv();
   Run();
+  ebs::obs::EmitRunReport(std::cout);
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "src/cache/hotspot.h"
 #include "src/cache/location.h"
 #include "src/core/simulation.h"
+#include "src/obs/report.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
 
@@ -99,6 +100,8 @@ void Run() {
 }  // namespace
 
 int main() {
+  ebs::obs::InitRunReportFromEnv();
   Run();
+  ebs::obs::EmitRunReport(std::cout);
   return 0;
 }

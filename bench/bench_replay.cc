@@ -14,6 +14,7 @@
 
 #include "src/core/simulation.h"
 #include "src/core/streaming.h"
+#include "src/obs/report.h"
 #include "src/util/table.h"
 
 namespace {
@@ -27,6 +28,7 @@ double MillisSince(Clock::time_point start) {
 }  // namespace
 
 int main() {
+  ebs::obs::InitRunReportFromEnv();
   ebs::SimulationConfig config = ebs::DcPreset(1);
 
   ebs::PrintBanner(std::cout, "Replay engine: streaming generation throughput");
@@ -53,5 +55,6 @@ int main() {
                   ebs::TablePrinter::Fmt(baseline_ms / ms, 2)});
   }
   table.Print(std::cout);
+  ebs::obs::EmitRunReport(std::cout);
   return 0;
 }

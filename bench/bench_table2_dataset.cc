@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "src/core/simulation.h"
+#include "src/obs/report.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
 
@@ -77,6 +78,8 @@ void Run() {
 }  // namespace
 
 int main() {
+  ebs::obs::InitRunReportFromEnv();
   Run();
+  ebs::obs::EmitRunReport(std::cout);
   return 0;
 }

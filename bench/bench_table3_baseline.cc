@@ -10,6 +10,7 @@
 
 #include "src/analysis/skewness.h"
 #include "src/core/simulation.h"
+#include "src/obs/report.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
 
@@ -47,6 +48,8 @@ void Run() {
 }  // namespace
 
 int main() {
+  ebs::obs::InitRunReportFromEnv();
   Run();
+  ebs::obs::EmitRunReport(std::cout);
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "src/analysis/skewness.h"
 #include "src/core/simulation.h"
+#include "src/obs/report.h"
 #include "src/util/table.h"
 
 namespace {
@@ -35,6 +36,8 @@ void Run() {
 }  // namespace
 
 int main() {
+  ebs::obs::InitRunReportFromEnv();
   Run();
+  ebs::obs::EmitRunReport(std::cout);
   return 0;
 }

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # CI smoke: build the Release and AddressSanitizer configs, run the full test
-# suite on Release, and re-run the replay determinism tests under ASan.
+# suite on Release, re-run the replay determinism tests under ASan, and run
+# the numeric/container tests under UBSan (which mechanically catches the
+# NaN-bin-index class of bug the histogram regression test pins down).
 #
 # Usage: scripts/ci_smoke.sh [build-root]   (default: ./ci-build)
 
@@ -10,19 +12,32 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_root="${1:-${repo_root}/ci-build}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
-echo "== [1/4] Configure + build: Release =="
+echo "== [1/6] Configure + build: Release =="
 cmake -S "${repo_root}" -B "${build_root}/release" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${build_root}/release" -j "${jobs}"
 
-echo "== [2/4] Tier-1 tests (Release) =="
+echo "== [2/6] Tier-1 tests (Release) =="
 ctest --test-dir "${build_root}/release" --output-on-failure -j "${jobs}"
 
-echo "== [3/4] Configure + build: AddressSanitizer =="
+echo "== [3/6] Configure + build: AddressSanitizer =="
 cmake -S "${repo_root}" -B "${build_root}/asan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEBS_SANITIZE=address >/dev/null
 cmake --build "${build_root}/asan" -j "${jobs}" --target replay_test
 
-echo "== [4/4] Replay determinism tests (ASan) =="
+echo "== [4/6] Replay determinism tests (ASan) =="
 "${build_root}/asan/tests/replay_test"
+
+echo "== [5/6] Configure + build: UndefinedBehaviorSanitizer =="
+cmake -S "${repo_root}" -B "${build_root}/ubsan" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEBS_SANITIZE=undefined >/dev/null
+cmake --build "${build_root}/ubsan" -j "${jobs}" \
+  --target util_container_test util_stats_test trace_test csv_export_test obs_test
+
+echo "== [6/6] Numeric + export + obs tests (UBSan) =="
+UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/util_container_test"
+UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/util_stats_test"
+UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/trace_test"
+UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/csv_export_test"
+UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/obs_test"
 
 echo "ci_smoke: all green"

@@ -29,6 +29,7 @@ void OnlineCacheSink::OnStart(const Fleet& fleet, size_t /*window_steps*/,
 }
 
 void OnlineCacheSink::OnEvent(const ReplayEvent& event) {
+  event_counter_->Increment();
   VdCacheState& state = per_vd_[event.record.vd.value()];
   if (state.cache == nullptr) {
     state.cache = MakeCache(policy_, capacity_pages_);

@@ -15,6 +15,7 @@
 
 #include "src/cache/hotspot.h"
 #include "src/cache/policy.h"
+#include "src/obs/metrics.h"
 #include "src/replay/sink.h"
 #include "src/topology/fleet.h"
 
@@ -48,6 +49,7 @@ class OnlineCacheSink : public ReplaySink {
   std::vector<VdCacheState> per_vd_;
   uint64_t total_hits_ = 0;
   uint64_t total_accesses_ = 0;
+  obs::Counter* event_counter_ = obs::MetricRegistry::Global().GetCounter("sink.cache.events");
 };
 
 }  // namespace ebs

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <utility>
 
+#include "src/obs/metrics.h"
+
 namespace ebs {
 
 SimulationConfig DcPreset(int dc_index) {
@@ -39,10 +41,26 @@ SimulationConfig StorageStudyPreset(uint64_t seed) {
   return config;
 }
 
+namespace {
+
+// Phase-timing wrappers for the two expensive constructor stages. The timers
+// observe wall-clock only; they cannot influence the built fleet or datasets.
+Fleet TimedBuildFleet(const FleetConfig& config) {
+  obs::ScopedTimer timer(obs::MetricRegistry::Global().GetTimer("core.build_fleet"));
+  return BuildFleet(config);
+}
+
+WorkloadResult TimedGenerate(const Fleet& fleet, const WorkloadConfig& config) {
+  obs::ScopedTimer timer(obs::MetricRegistry::Global().GetTimer("core.batch_generate"));
+  return WorkloadGenerator(fleet, config).Generate();
+}
+
+}  // namespace
+
 EbsSimulation::EbsSimulation(SimulationConfig config)
     : config_(config),
-      fleet_(BuildFleet(config.fleet)),
-      workload_(WorkloadGenerator(fleet_, config.workload).Generate()) {}
+      fleet_(TimedBuildFleet(config.fleet)),
+      workload_(TimedGenerate(fleet_, config.workload)) {}
 
 namespace {
 

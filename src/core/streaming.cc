@@ -4,11 +4,22 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/obs/metrics.h"
+
 namespace ebs {
+
+namespace {
+
+Fleet TimedBuildFleet(const FleetConfig& config) {
+  obs::ScopedTimer timer(obs::MetricRegistry::Global().GetTimer("core.build_fleet"));
+  return BuildFleet(config);
+}
+
+}  // namespace
 
 StreamingSimulation::StreamingSimulation(SimulationConfig config, ReplayOptions options)
     : config_(config),
-      fleet_(BuildFleet(config.fleet)),
+      fleet_(TimedBuildFleet(config.fleet)),
       collector_(config.workload.sampling_rate),
       engine_(fleet_, config.workload, options) {
   engine_.AddSink(&collector_);
@@ -26,7 +37,12 @@ void StreamingSimulation::Run() {
   if (ran_) {
     throw std::logic_error("StreamingSimulation: Run called twice");
   }
-  workload_ = engine_.Run();
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  {
+    obs::ScopedTimer timer(registry.GetTimer("core.streaming_run"));
+    workload_ = engine_.Run();
+  }
+  obs::ScopedTimer finalize_timer(registry.GetTimer("core.streaming_finalize"));
   workload_.traces = collector_.TakeDataset();
 
   std::vector<std::pair<uint32_t, const RwSeries*>> sorted;

@@ -19,6 +19,7 @@ void OnlineWtCovSink::OnStart(const Fleet& fleet, size_t /*window_steps*/,
 }
 
 void OnlineWtCovSink::OnStepComplete(const ReplayStepView& view) {
+  obs::ScopedTimer timer(step_timer_);
   // Two-stage accumulation keeps the FP addition order identical to batch:
   // RollupToWt folds QPs (fleet order) into the per-step WT value first, and
   // WtCovSamples then folds steps in ascending order.

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/replay/sink.h"
 #include "src/topology/fleet.h"
 
@@ -39,6 +40,7 @@ class OnlineWtCovSink : public ReplaySink {
   std::vector<double> step_total_;   // per-WT bytes of the current step
   std::vector<std::vector<double>> per_node_;  // samples grouped by node
   std::vector<double> samples_;
+  obs::ObsHistogram* step_timer_ = obs::MetricRegistry::Global().GetTimer("sink.wt_cov.step");
 };
 
 }  // namespace ebs

@@ -1,0 +1,155 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace ebs {
+namespace obs {
+
+namespace {
+
+// Monotonic per-thread index; threads map to counter stripes round-robin.
+size_t NextThreadIndex() {
+  static std::atomic<size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+size_t Counter::ThreadSlot() {
+  thread_local const size_t slot = NextThreadIndex() % kStripes;
+  return slot;
+}
+
+double ObsHistogram::Mean() const {
+  const uint64_t n = count();
+  if (n == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+size_t ObsHistogram::BucketOf(uint64_t value) {
+  // Bucket 0 holds value 0; bucket b>0 holds [2^(b-1), 2^b).
+  return static_cast<size_t>(std::bit_width(value));
+}
+
+double ObsHistogram::Percentile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(n - 1) + 1.0;  // 1-based
+  double seen = 0.0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += static_cast<double>(buckets_[b].load(std::memory_order_relaxed));
+    if (seen >= rank) {
+      if (b == 0) {
+        return 0.0;
+      }
+      // Geometric midpoint of [2^(b-1), 2^b), capped by the observed max.
+      const double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
+      return std::min(lo * std::sqrt(2.0), static_cast<double>(max()));
+    }
+  }
+  return static_cast<double>(max());
+}
+
+void ObsHistogram::Reset() {
+  for (std::atomic<uint64_t>& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>(&enabled_)).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>(&enabled_)).first;
+  }
+  return it->second.get();
+}
+
+ObsHistogram* MetricRegistry::GetHistogram(std::string_view name, std::string_view unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<ObsHistogram>(&enabled_, std::string(unit)))
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, hist] : histograms_) {
+    hist->Reset();
+  }
+}
+
+RunReport MetricRegistry::Snapshot() const {
+  RunReport report;
+  std::lock_guard<std::mutex> lock(mu_);
+  report.metrics.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricSnapshot snap;
+    snap.name = name;
+    snap.kind = "counter";
+    snap.value = static_cast<double>(counter->Value());
+    report.metrics.push_back(std::move(snap));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSnapshot snap;
+    snap.name = name;
+    snap.kind = "gauge";
+    snap.value = gauge->Value();
+    report.metrics.push_back(std::move(snap));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricSnapshot snap;
+    snap.name = name;
+    snap.kind = "histogram";
+    snap.unit = hist->unit();
+    snap.count = hist->count();
+    snap.sum = static_cast<double>(hist->sum());
+    snap.mean = hist->Mean();
+    snap.max = static_cast<double>(hist->max());
+    snap.p50 = hist->Percentile(0.50);
+    snap.p90 = hist->Percentile(0.90);
+    snap.p99 = hist->Percentile(0.99);
+    report.metrics.push_back(std::move(snap));
+  }
+  std::sort(report.metrics.begin(), report.metrics.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) { return a.name < b.name; });
+  return report;
+}
+
+}  // namespace obs
+}  // namespace ebs

@@ -1,0 +1,159 @@
+#include "src/obs/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+
+#include "src/util/table.h"
+
+namespace ebs {
+namespace obs {
+
+namespace {
+
+// Histogram sample values scaled for display: nanoseconds render as
+// milliseconds, everything else as-is.
+double Display(double value, const std::string& unit) {
+  return unit == "ns" ? value / 1e6 : value;
+}
+
+std::string DisplayUnit(const std::string& unit) { return unit == "ns" ? "ms" : unit; }
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+void PrintRunReport(const RunReport& report, std::ostream& os) {
+  PrintBanner(os, "Run report");
+  TablePrinter values({"metric", "kind", "value"});
+  TablePrinter hists({"metric", "unit", "count", "mean", "p50", "p90", "p99", "max", "total"});
+  for (const MetricSnapshot& m : report.metrics) {
+    if (m.kind == "histogram") {
+      hists.AddRow({m.name, DisplayUnit(m.unit), std::to_string(m.count),
+                    TablePrinter::Fmt(Display(m.mean, m.unit), 3),
+                    TablePrinter::Fmt(Display(m.p50, m.unit), 3),
+                    TablePrinter::Fmt(Display(m.p90, m.unit), 3),
+                    TablePrinter::Fmt(Display(m.p99, m.unit), 3),
+                    TablePrinter::Fmt(Display(m.max, m.unit), 3),
+                    TablePrinter::Fmt(Display(m.sum, m.unit), 3)});
+    } else {
+      values.AddRow({m.name, m.kind, TablePrinter::Fmt(m.value, m.kind == "counter" ? 0 : 3)});
+    }
+  }
+  if (values.row_count() > 0) {
+    values.Print(os);
+    os << "\n";
+  }
+  if (hists.row_count() > 0) {
+    hists.Print(os);
+  }
+}
+
+std::string RunReportJson(const RunReport& report) {
+  std::ostringstream os;
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const MetricSnapshot& m : report.metrics) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "{\"name\":\"" << JsonEscape(m.name) << "\",\"kind\":\"" << m.kind << "\"";
+    if (m.kind == "histogram") {
+      os << ",\"unit\":\"" << JsonEscape(m.unit) << "\",\"count\":" << m.count
+         << ",\"sum\":" << JsonNumber(m.sum) << ",\"mean\":" << JsonNumber(m.mean)
+         << ",\"p50\":" << JsonNumber(m.p50) << ",\"p90\":" << JsonNumber(m.p90)
+         << ",\"p99\":" << JsonNumber(m.p99) << ",\"max\":" << JsonNumber(m.max);
+    } else {
+      os << ",\"value\":" << JsonNumber(m.value);
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool WriteRunReportJson(const RunReport& report, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return false;
+  }
+  const std::string json = RunReportJson(report);
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fputc('\n', file);
+  // A buffered write can fail only at flush time (e.g. ENOSPC): trust neither
+  // the stream state alone nor fclose alone.
+  const bool ok = std::ferror(file) == 0;
+  return (std::fclose(file) == 0) && ok;
+}
+
+namespace {
+
+// Parsed EBS_RUN_REPORT: unset/empty means off; "table"/"json" stream to the
+// caller; anything else is a JSON output path.
+const std::string& ReportMode() {
+  static const std::string mode = [] {
+    const char* env = std::getenv("EBS_RUN_REPORT");
+    return std::string(env == nullptr ? "" : env);
+  }();
+  return mode;
+}
+
+}  // namespace
+
+bool InitRunReportFromEnv() {
+  const bool on = !ReportMode().empty();
+  if (on) {
+    MetricRegistry::Global().set_enabled(true);
+  }
+  return on;
+}
+
+void EmitRunReport(std::ostream& os) {
+  const std::string& mode = ReportMode();
+  if (mode.empty()) {
+    return;
+  }
+  const RunReport report = MetricRegistry::Global().Snapshot();
+  if (mode == "table") {
+    os << "\n";
+    PrintRunReport(report, os);
+  } else if (mode == "json") {
+    os << RunReportJson(report) << "\n";
+  } else {
+    if (!WriteRunReportJson(report, mode)) {
+      os << "run report: failed to write " << mode << "\n";
+    } else {
+      os << "run report: " << mode << "\n";
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace ebs

@@ -1,0 +1,48 @@
+// RunReport rendering and the bench-harness opt-in hook.
+//
+// A RunReport (obs::MetricRegistry::Snapshot) can be rendered as a
+// fixed-width table for terminals or as JSON for external tooling. Bench
+// binaries opt in through the environment:
+//
+//   EBS_RUN_REPORT=table ./bench_replay     # table appended to stdout
+//   EBS_RUN_REPORT=json  ./bench_replay     # JSON appended to stdout
+//   EBS_RUN_REPORT=/tmp/report.json ./bench_replay   # JSON written to file
+//
+// InitRunReportFromEnv() enables the global registry iff the variable is set,
+// so an un-opted-in run pays only the disabled-branch cost.
+
+#ifndef SRC_OBS_REPORT_H_
+#define SRC_OBS_REPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace ebs {
+namespace obs {
+
+// Pretty fixed-width dump: counters/gauges first, then histograms with
+// count / mean / p50 / p90 / p99 / max / total columns (times in ms).
+void PrintRunReport(const RunReport& report, std::ostream& os);
+
+// Stable, sorted JSON: {"metrics":[{"name":...,"kind":...,...},...]}.
+std::string RunReportJson(const RunReport& report);
+
+// Writes RunReportJson to `path`. Returns false on open failure OR on any
+// write/flush failure (checks ferror and the fclose result — same policy as
+// the CSV exporters).
+bool WriteRunReportJson(const RunReport& report, const std::string& path);
+
+// Reads EBS_RUN_REPORT and, when set to a non-empty value, enables the global
+// MetricRegistry. Returns true when reporting is on.
+bool InitRunReportFromEnv();
+
+// Emits the global registry's report as requested by EBS_RUN_REPORT ("table",
+// "json", or a *.json file path). No-op when reporting is off.
+void EmitRunReport(std::ostream& os);
+
+}  // namespace obs
+}  // namespace ebs
+
+#endif  // SRC_OBS_REPORT_H_

@@ -51,6 +51,13 @@ class BoundedQueue {
     return true;
   }
 
+  // Instantaneous depth; a sampling observer's view of the merge backlog.
+  // Racy by nature (the queue keeps moving), exact at the call instant.
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
   // Wakes every waiter. Pending items remain poppable; further pushes fail.
   void Close() {
     {
@@ -63,7 +70,7 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<T> items_;

@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "src/obs/metrics.h"
 #include "src/replay/bounded_queue.h"
 #include "src/replay/shard.h"
 
@@ -53,6 +54,25 @@ WorkloadResult ReplayEngine::Run() {
     queues.push_back(std::make_unique<BoundedQueue<ShardBatch>>(options_.queue_capacity));
   }
 
+  // Self-observability: per-shard generation/init timers, queue wait on both
+  // sides, sampled merge backlog, and batches dropped on abort. All of it is
+  // pure wall-clock observation — it cannot perturb the generated stream —
+  // and compiles down to a disabled-flag branch when no report is requested.
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  std::vector<obs::ObsHistogram*> generate_timers(shard_count);
+  std::vector<obs::ObsHistogram*> init_timers(shard_count);
+  for (size_t s = 0; s < shard_count; ++s) {
+    const std::string prefix = "replay.shard" + std::to_string(s);
+    init_timers[s] = registry.GetTimer(prefix + ".init");
+    generate_timers[s] = registry.GetTimer(prefix + ".generate_step");
+  }
+  obs::ObsHistogram* push_wait = registry.GetTimer("replay.queue.push_wait");
+  obs::ObsHistogram* pop_wait = registry.GetTimer("replay.queue.pop_wait");
+  obs::ObsHistogram* backlog = registry.GetHistogram("replay.queue.occupancy", "batches");
+  obs::ObsHistogram* sink_step = registry.GetTimer("replay.sink.step_complete");
+  obs::Counter* dropped = registry.GetCounter("replay.batches_dropped");
+  obs::Counter* merged = registry.GetCounter("replay.events_merged");
+
   std::vector<std::promise<void>> init_done(shard_count);
   std::vector<std::exception_ptr> worker_errors(shard_count);
   std::vector<std::thread> workers;
@@ -60,6 +80,7 @@ WorkloadResult ReplayEngine::Run() {
   for (size_t s = 0; s < shard_count; ++s) {
     workers.emplace_back([&, s] {
       try {
+        obs::ScopedTimer init_timer(init_timers[s]);
         shards[s]->Init(&result.metrics.qp_series, &result.offered_vd, &result.vd_truth);
       } catch (...) {
         init_done[s].set_exception(std::current_exception());
@@ -69,9 +90,16 @@ WorkloadResult ReplayEngine::Run() {
       init_done[s].set_value();
       try {
         for (size_t t = 0; t < steps; ++t) {
+          ShardBatch batch;
+          {
+            obs::ScopedTimer generate_timer(generate_timers[s]);
+            batch = shards[s]->GenerateStep(t);
+          }
           // Push blocks while the queue is at capacity (backpressure) and
           // fails once the merge side closed the queue (abort).
-          if (!queues[s]->Push(shards[s]->GenerateStep(t))) {
+          obs::ScopedTimer wait_timer(push_wait);
+          if (!queues[s]->Push(std::move(batch))) {
+            dropped->Increment();
             return;
           }
         }
@@ -121,9 +149,20 @@ WorkloadResult ReplayEngine::Run() {
     }
 
     std::vector<ShardBatch> current(shard_count);
+    const bool observing = registry.enabled();
     for (size_t t = 0; t < steps; ++t) {
       for (size_t s = 0; s < shard_count; ++s) {
-        if (!queues[s]->Pop(&current[s]) || current[s].step != t) {
+        if (observing) {
+          // Depth just before the pop: how far generation runs ahead of the
+          // merge (capacity = full backpressure, 0 = merge-bound).
+          backlog->Record(queues[s]->size());
+        }
+        bool popped = false;
+        {
+          obs::ScopedTimer wait_timer(pop_wait);
+          popped = queues[s]->Pop(&current[s]);
+        }
+        if (!popped || current[s].step != t) {
           throw std::runtime_error("replay shard ended before the window completed");
         }
       }
@@ -142,11 +181,13 @@ WorkloadResult ReplayEngine::Run() {
           heap.push({0, s});
         }
       }
+      uint64_t step_events = 0;
       while (!heap.empty()) {
         const auto [index, s] = heap.top();
         heap.pop();
         const ReplayEvent& event = current[s].events[index];
         ++stats_.events;
+        ++step_events;
         for (ReplaySink* sink : sinks_) {
           sink->OnEvent(event);
         }
@@ -154,11 +195,14 @@ WorkloadResult ReplayEngine::Run() {
           heap.push({index + 1, s});
         }
       }
+      merged->Add(step_events);
 
       const ReplayStepView view{t, dt, result.metrics.qp_series, result.offered_vd, segments};
+      obs::ScopedTimer sink_timer(sink_step);
       for (ReplaySink* sink : sinks_) {
         sink->OnStepComplete(view);
       }
+      sink_timer.Stop();
     }
   } catch (...) {
     abort_and_join();

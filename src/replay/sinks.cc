@@ -1,5 +1,7 @@
 #include "src/replay/sinks.h"
 
+#include "src/obs/metrics.h"
+
 namespace ebs {
 
 void TraceCollectorSink::OnStart(const Fleet& /*fleet*/, size_t window_steps,
@@ -11,6 +13,7 @@ void TraceCollectorSink::OnStart(const Fleet& /*fleet*/, size_t window_steps,
 
 void TraceCollectorSink::OnEvent(const ReplayEvent& event) {
   dataset_.records.push_back(event.record);
+  collected_->Increment();
 }
 
 void RollupAggregatorSink::OnStart(const Fleet& fleet, size_t window_steps, double step_seconds) {
@@ -19,6 +22,7 @@ void RollupAggregatorSink::OnStart(const Fleet& fleet, size_t window_steps, doub
 }
 
 void RollupAggregatorSink::OnStepComplete(const ReplayStepView& view) {
+  obs::ScopedTimer timer(fold_timer_);
   if (!segments_registered_) {
     // The registry is frozen once shards finish Init, so the first step
     // boundary already sees every segment that will ever carry traffic.

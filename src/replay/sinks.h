@@ -15,6 +15,7 @@
 #include <optional>
 #include <utility>
 
+#include "src/obs/metrics.h"
 #include "src/replay/sink.h"
 #include "src/trace/records.h"
 #include "src/trace/streaming_aggregate.h"
@@ -36,6 +37,8 @@ class TraceCollectorSink : public ReplaySink {
  private:
   double sampling_rate_;
   TraceDataset dataset_;
+  obs::Counter* collected_ =
+      obs::MetricRegistry::Global().GetCounter("sink.trace_collector.records");
 };
 
 class RollupAggregatorSink : public ReplaySink {
@@ -49,6 +52,7 @@ class RollupAggregatorSink : public ReplaySink {
  private:
   std::optional<StreamingAggregator> aggregator_;
   bool segments_registered_ = false;
+  obs::ObsHistogram* fold_timer_ = obs::MetricRegistry::Global().GetTimer("sink.rollup.fold_step");
 };
 
 class ThroughputProbeSink : public ReplaySink {

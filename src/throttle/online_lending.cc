@@ -39,6 +39,7 @@ void OnlineLendingSink::OnStepComplete(const ReplayStepView& view) {
   // One step of Algorithm 2 per group — the same per-step body as the batch
   // SimulateLending, with the group/step loops interchanged (legal because
   // all carried state is per group).
+  obs::ScopedTimer timer(step_timer_);
   const size_t t = view.step;
   const double p = config_.lending_rate;
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/replay/sink.h"
 #include "src/throttle/throttle.h"
 #include "src/topology/fleet.h"
@@ -61,6 +62,7 @@ class OnlineLendingSink : public ReplaySink {
   const Fleet* fleet_ = nullptr;
   std::vector<GroupState> state_;
   std::vector<double> gains_;
+  obs::ObsHistogram* step_timer_ = obs::MetricRegistry::Global().GetTimer("sink.lending.step");
 };
 
 }  // namespace ebs

@@ -19,6 +19,26 @@ using File = std::unique_ptr<std::FILE, FileCloser>;
 
 File Open(const std::string& path) { return File(std::fopen(path.c_str(), "w")); }
 
+// Closes the stream and reports whether every buffered byte reached the OS.
+// ferror catches mid-run fputs/fprintf failures; the fclose result catches
+// data lost in the final flush (e.g. disk full) — trusting either alone
+// turns a failed export into a silently truncated file.
+bool CloseChecked(File file) {
+  std::FILE* raw = file.release();
+  const bool wrote_ok = std::ferror(raw) == 0;
+  const bool closed_ok = std::fclose(raw) == 0;
+  return wrote_ok && closed_ok;
+}
+
+// A (step, series) row is idle — and skippable in the sparse dumps — only if
+// *all four* counters are zero. Ops can be nonzero while bytes are zero
+// (zero-length IOs, byte counters rounded away), and dropping such rows
+// would silently lose operations from the exported dataset.
+bool IdleAt(const RwSeries& series, size_t t) {
+  return series.read_bytes[t] <= 0.0 && series.write_bytes[t] <= 0.0 &&
+         series.read_ops[t] <= 0.0 && series.write_ops[t] <= 0.0;
+}
+
 }  // namespace
 
 bool WriteTracesCsv(const TraceDataset& traces, const std::string& path) {
@@ -41,7 +61,7 @@ bool WriteTracesCsv(const TraceDataset& traces, const std::string& path) {
                  r.latency.component_us[2], r.latency.component_us[3],
                  r.latency.component_us[4]);
   }
-  return true;
+  return CloseChecked(std::move(file));
 }
 
 bool WriteComputeMetricsCsv(const Fleet& fleet, const MetricDataset& metrics,
@@ -56,7 +76,7 @@ bool WriteComputeMetricsCsv(const Fleet& fleet, const MetricDataset& metrics,
     const RwSeries& series = metrics.qp_series[qp.id.value()];
     const UserId user = fleet.vms[qp.vm.value()].user;
     for (size_t t = 0; t < metrics.window_steps; ++t) {
-      if (series.read_bytes[t] <= 0.0 && series.write_bytes[t] <= 0.0) {
+      if (IdleAt(series, t)) {
         continue;  // sparse dump: idle rows carry no information
       }
       std::fprintf(file.get(), "%zu,%u,%u,%u,%u,%u,%.0f,%.0f,%.1f,%.1f\n", t, user.value(),
@@ -65,7 +85,7 @@ bool WriteComputeMetricsCsv(const Fleet& fleet, const MetricDataset& metrics,
                    series.write_ops[t]);
     }
   }
-  return true;
+  return CloseChecked(std::move(file));
 }
 
 bool WriteStorageMetricsCsv(const Fleet& fleet, const MetricDataset& metrics,
@@ -81,7 +101,7 @@ bool WriteStorageMetricsCsv(const Fleet& fleet, const MetricDataset& metrics,
     const Vd& vd = fleet.vds[segment.vd.value()];
     const StorageNodeId sn = fleet.block_servers[segment.server.value()].node;
     for (size_t t = 0; t < metrics.window_steps; ++t) {
-      if (series.read_bytes[t] <= 0.0 && series.write_bytes[t] <= 0.0) {
+      if (IdleAt(series, t)) {
         continue;
       }
       std::fprintf(file.get(), "%zu,%u,%u,%u,%u,%u,%u,%.0f,%.0f,%.1f,%.1f\n", t,
@@ -90,7 +110,7 @@ bool WriteStorageMetricsCsv(const Fleet& fleet, const MetricDataset& metrics,
                    series.write_bytes[t], series.read_ops[t], series.write_ops[t]);
     }
   }
-  return true;
+  return CloseChecked(std::move(file));
 }
 
 }  // namespace ebs

@@ -12,14 +12,17 @@
 
 namespace ebs {
 
+// Every writer returns false if the file could not be opened, if any write
+// failed mid-run, or if the final flush/close lost buffered data (e.g. disk
+// full) — a true return means the complete file is on disk.
+
 // trace.csv: one row per sampled IO —
 // timestamp,op,size,offset,user,vm,vd,qp,wt,cn,segment,bs,sn,
 // lat_cn_us,lat_fe_us,lat_bs_us,lat_be_us,lat_cs_us
-// Returns false if the file could not be opened.
 bool WriteTracesCsv(const TraceDataset& traces, const std::string& path);
 
-// compute_metrics.csv: one row per (step, QP) with traffic —
-// step,user,vm,vd,wt,qp,read_bytes,write_bytes,read_ops,write_ops
+// compute_metrics.csv: one row per (step, QP) with traffic (any nonzero byte
+// or op counter) — step,user,vm,vd,wt,qp,read_bytes,write_bytes,read_ops,write_ops
 bool WriteComputeMetricsCsv(const Fleet& fleet, const MetricDataset& metrics,
                             const std::string& path);
 

@@ -17,6 +17,14 @@ Histogram::Histogram(double lo, double hi, size_t bins) : lo_(lo), hi_(hi) {
 }
 
 void Histogram::Add(double value) {
+  // NaN has no bin: std::clamp on NaN returns NaN and the size_t cast is UB,
+  // which under UBSan/hardware may index anywhere. Count it as dropped
+  // instead. +/-inf are directionally meaningful and clamp to the edge bins
+  // like any other out-of-range value.
+  if (std::isnan(value)) {
+    ++dropped_nan_;
+    return;
+  }
   double idx = std::floor((value - lo_) / width_);
   idx = std::clamp(idx, 0.0, static_cast<double>(counts_.size() - 1));
   ++counts_[static_cast<size_t>(idx)];

@@ -4,14 +4,16 @@
 #define SRC_UTIL_HISTOGRAM_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
 namespace ebs {
 
-// Fixed-bin histogram over [lo, hi); values outside are clamped into the
-// first/last bin so no sample is silently dropped.
+// Fixed-bin histogram over [lo, hi); finite values outside (and +/-inf) are
+// clamped into the first/last bin so no sample is silently dropped. NaN has
+// no meaningful bin: it is rejected and tallied in dropped_nan().
 class Histogram {
  public:
   Histogram(double lo, double hi, size_t bins);
@@ -22,6 +24,8 @@ class Histogram {
   size_t bin_count() const { return counts_.size(); }
   uint64_t count(size_t bin) const { return counts_[bin]; }
   uint64_t total() const { return total_; }
+  // NaN samples rejected by Add (not part of total()).
+  uint64_t dropped_nan() const { return dropped_nan_; }
   // Fraction of samples in `bin`; 0 if the histogram is empty.
   double Fraction(size_t bin) const;
   double BinLow(size_t bin) const;
@@ -35,6 +39,7 @@ class Histogram {
   double width_;
   std::vector<uint64_t> counts_;
   uint64_t total_ = 0;
+  uint64_t dropped_nan_ = 0;
 };
 
 // Empirical CDF over a sample set. Construction sorts the data once; queries

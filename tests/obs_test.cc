@@ -1,0 +1,274 @@
+// Tests for the src/obs observability layer: registry semantics, the
+// disabled-is-free contract, timer/histogram behavior, RunReport rendering,
+// and the load-bearing invariant that instrumentation does not perturb the
+// simulation output (streaming-vs-batch fingerprint with the global registry
+// enabled).
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/simulation.h"
+#include "src/core/streaming.h"
+#include "src/obs/metrics.h"
+#include "src/obs/report.h"
+
+namespace ebs {
+namespace {
+
+using obs::MetricRegistry;
+using obs::RunReport;
+using obs::ScopedTimer;
+
+TEST(ObsCounterTest, AccumulatesAcrossThreads) {
+  MetricRegistry registry;
+  registry.set_enabled(true);
+  obs::Counter* counter = registry.GetCounter("test.counter");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([counter] {
+      for (int j = 0; j < kPerThread; ++j) {
+        counter->Increment();
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter->Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsRegistryTest, DisabledRegistryRecordsNothing) {
+  MetricRegistry registry;
+  ASSERT_FALSE(registry.enabled());
+  obs::Counter* counter = registry.GetCounter("test.counter");
+  obs::Gauge* gauge = registry.GetGauge("test.gauge");
+  obs::ObsHistogram* hist = registry.GetTimer("test.timer");
+  counter->Add(42);
+  gauge->Set(3.5);
+  hist->Record(1000);
+  { ScopedTimer timer(hist); }
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(gauge->Value(), 0.0);
+  EXPECT_EQ(hist->count(), 0u);
+}
+
+TEST(ObsRegistryTest, ReturnsStablePointersPerName) {
+  MetricRegistry registry;
+  obs::Counter* a = registry.GetCounter("same.name");
+  obs::Counter* b = registry.GetCounter("same.name");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(registry.GetCounter("other.name"), a);
+  EXPECT_EQ(registry.GetTimer("t"), registry.GetHistogram("t", "ns"));
+}
+
+TEST(ObsHistogramTest, TracksCountSumMaxAndBuckets) {
+  MetricRegistry registry;
+  registry.set_enabled(true);
+  obs::ObsHistogram* hist = registry.GetHistogram("test.hist");
+  for (const uint64_t v : {1000u, 2000u, 4000u, 8000u}) {
+    hist->Record(v);
+  }
+  EXPECT_EQ(hist->count(), 4u);
+  EXPECT_EQ(hist->sum(), 15000u);
+  EXPECT_EQ(hist->max(), 8000u);
+  EXPECT_DOUBLE_EQ(hist->Mean(), 3750.0);
+  // Percentiles are bucket-approximate: p0..p100 must stay within the
+  // recorded range's bucket bounds and be monotone.
+  const double p50 = hist->Percentile(0.50);
+  const double p99 = hist->Percentile(0.99);
+  EXPECT_GE(p50, 512.0);
+  EXPECT_LE(p99, 8000.0);
+  EXPECT_LE(p50, p99);
+}
+
+TEST(ObsHistogramTest, ZeroValueLandsInBucketZero) {
+  MetricRegistry registry;
+  registry.set_enabled(true);
+  obs::ObsHistogram* hist = registry.GetHistogram("test.zero");
+  hist->Record(0);
+  EXPECT_EQ(hist->count(), 1u);
+  EXPECT_EQ(hist->max(), 0u);
+  EXPECT_EQ(hist->Percentile(0.5), 0.0);
+}
+
+TEST(ObsTimerTest, RecordsExactlyOnce) {
+  MetricRegistry registry;
+  registry.set_enabled(true);
+  obs::ObsHistogram* hist = registry.GetTimer("test.timer");
+  {
+    ScopedTimer timer(hist);
+    timer.Stop();
+    timer.Stop();  // idempotent
+  }
+  EXPECT_EQ(hist->count(), 1u);
+  ScopedTimer null_timer(nullptr);  // null-safe
+}
+
+TEST(ObsRegistryTest, ResetZeroesButKeepsRegistrations) {
+  MetricRegistry registry;
+  registry.set_enabled(true);
+  obs::Counter* counter = registry.GetCounter("test.counter");
+  obs::ObsHistogram* hist = registry.GetHistogram("test.hist");
+  counter->Add(5);
+  hist->Record(100);
+  registry.Reset();
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(hist->count(), 0u);
+  EXPECT_EQ(registry.GetCounter("test.counter"), counter);
+}
+
+TEST(ObsReportTest, SnapshotIsSortedAndTyped) {
+  MetricRegistry registry;
+  registry.set_enabled(true);
+  registry.GetCounter("b.counter")->Add(7);
+  registry.GetGauge("a.gauge")->Set(1.5);
+  registry.GetTimer("c.timer")->Record(1000);
+  const RunReport report = registry.Snapshot();
+  ASSERT_EQ(report.metrics.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      report.metrics.begin(), report.metrics.end(),
+      [](const auto& x, const auto& y) { return x.name < y.name; }));
+  EXPECT_EQ(report.metrics[0].name, "a.gauge");
+  EXPECT_EQ(report.metrics[0].kind, "gauge");
+  EXPECT_EQ(report.metrics[0].value, 1.5);
+  EXPECT_EQ(report.metrics[1].kind, "counter");
+  EXPECT_EQ(report.metrics[1].value, 7.0);
+  EXPECT_EQ(report.metrics[2].kind, "histogram");
+  EXPECT_EQ(report.metrics[2].unit, "ns");
+  EXPECT_EQ(report.metrics[2].count, 1u);
+}
+
+TEST(ObsReportTest, JsonAndTableRenderEveryMetric) {
+  MetricRegistry registry;
+  registry.set_enabled(true);
+  registry.GetCounter("replay.events")->Add(3);
+  registry.GetTimer("replay.generate")->Record(2048);
+  const RunReport report = registry.Snapshot();
+
+  const std::string json = obs::RunReportJson(report);
+  EXPECT_EQ(json.rfind("{\"metrics\":[", 0), 0u);
+  EXPECT_NE(json.find("\"name\":\"replay.events\",\"kind\":\"counter\",\"value\":3"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"replay.generate\",\"kind\":\"histogram\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+
+  std::ostringstream table;
+  obs::PrintRunReport(report, table);
+  EXPECT_NE(table.str().find("replay.events"), std::string::npos);
+  EXPECT_NE(table.str().find("replay.generate"), std::string::npos);
+}
+
+TEST(ObsReportTest, WriteJsonRoundTripsToDisk) {
+  MetricRegistry registry;
+  registry.set_enabled(true);
+  registry.GetCounter("x")->Add(1);
+  const std::string path = std::string(::testing::TempDir()) + "/obs_report.json";
+  ASSERT_TRUE(obs::WriteRunReportJson(registry.Snapshot(), path));
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  char buf[256] = {};
+  const size_t read = std::fread(buf, 1, sizeof(buf) - 1, file);
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_GT(read, 0u);
+  EXPECT_EQ(std::string(buf).rfind("{\"metrics\":[", 0), 0u);
+}
+
+TEST(ObsReportTest, WriteJsonFailsOnUnwritablePath) {
+  MetricRegistry registry;
+  EXPECT_FALSE(obs::WriteRunReportJson(registry.Snapshot(), "/nonexistent-dir/report.json"));
+}
+
+TEST(ObsReportTest, WriteJsonFailsWhenDeviceIsFull) {
+  // /dev/full accepts the open and every buffered write, then fails the
+  // flush with ENOSPC — exactly the silent-failure class the checked close
+  // exists for.
+  std::FILE* probe = std::fopen("/dev/full", "w");
+  if (probe == nullptr) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  std::fclose(probe);
+  MetricRegistry registry;
+  registry.set_enabled(true);
+  registry.GetCounter("x")->Add(1);
+  EXPECT_FALSE(obs::WriteRunReportJson(registry.Snapshot(), "/dev/full"));
+}
+
+// The tentpole invariant: turning the instrumentation on must not change a
+// single bit of the simulation output. Runs the streaming engine (which
+// exercises every replay/core/sink metric) against the batch generator with
+// the GLOBAL registry enabled and compares the datasets exactly.
+TEST(ObsFingerprintTest, InstrumentationDoesNotPerturbSimulationOutput) {
+  MetricRegistry& global = MetricRegistry::Global();
+  const bool was_enabled = global.enabled();
+  global.set_enabled(true);
+
+  SimulationConfig config = DcPreset(1);
+  config.fleet.user_count = 30;
+  config.workload.window_steps = 90;
+
+  const EbsSimulation batch(config);
+  StreamingSimulation stream(config, {.worker_threads = 4, .queue_capacity = 4});
+  stream.Run();
+
+  auto canonical = [](const TraceDataset& traces) {
+    std::vector<std::tuple<double, uint32_t, uint64_t, uint32_t, int>> keys;
+    keys.reserve(traces.records.size());
+    for (const TraceRecord& r : traces.records) {
+      keys.emplace_back(r.timestamp, r.vd.value(), r.offset, r.size_bytes,
+                        static_cast<int>(r.op));
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  EXPECT_EQ(canonical(stream.traces()), canonical(batch.traces()));
+
+  ASSERT_EQ(stream.metrics().qp_series.size(), batch.metrics().qp_series.size());
+  for (size_t q = 0; q < batch.metrics().qp_series.size(); ++q) {
+    for (size_t t = 0; t < batch.metrics().window_steps; ++t) {
+      ASSERT_EQ(stream.metrics().qp_series[q].read_bytes[t],
+                batch.metrics().qp_series[q].read_bytes[t]);
+      ASSERT_EQ(stream.metrics().qp_series[q].write_bytes[t],
+                batch.metrics().qp_series[q].write_bytes[t]);
+    }
+  }
+
+  // And the instrumentation did observe the run: per-shard generation
+  // timers, queue waits and the merged-event counter are all live.
+  const RunReport report = global.Snapshot();
+  auto find = [&report](const std::string& name) -> const obs::MetricSnapshot* {
+    for (const auto& metric : report.metrics) {
+      if (metric.name == name) {
+        return &metric;
+      }
+    }
+    return nullptr;
+  };
+  const obs::MetricSnapshot* generate = find("replay.shard0.generate_step");
+  ASSERT_NE(generate, nullptr);
+  EXPECT_GE(generate->count, 90u);
+  const obs::MetricSnapshot* push_wait = find("replay.queue.push_wait");
+  ASSERT_NE(push_wait, nullptr);
+  EXPECT_GT(push_wait->count, 0u);
+  const obs::MetricSnapshot* occupancy = find("replay.queue.occupancy");
+  ASSERT_NE(occupancy, nullptr);
+  EXPECT_GT(occupancy->count, 0u);
+  const obs::MetricSnapshot* merged = find("replay.events_merged");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(static_cast<uint64_t>(merged->value), stream.stats().events);
+
+  global.set_enabled(was_enabled);
+  global.Reset();
+}
+
+}  // namespace
+}  // namespace ebs

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "src/util/histogram.h"
@@ -28,6 +29,28 @@ TEST(HistogramTest, ClampsOutOfRange) {
   hist.Add(42.0);
   EXPECT_EQ(hist.count(0), 1u);
   EXPECT_EQ(hist.count(1), 1u);
+}
+
+TEST(HistogramTest, RejectsNanAndClampsInfinities) {
+  // Regression: NaN used to flow through std::clamp (which returns NaN) into
+  // a size_t cast — UB that could index anywhere. NaN is now counted as
+  // dropped; infinities clamp into the edge bins like any other
+  // out-of-range value.
+  Histogram hist(0.0, 1.0, 4);
+  hist.Add(std::numeric_limits<double>::quiet_NaN());
+  hist.Add(std::numeric_limits<double>::signaling_NaN());
+  EXPECT_EQ(hist.total(), 0u);
+  EXPECT_EQ(hist.dropped_nan(), 2u);
+
+  hist.Add(std::numeric_limits<double>::infinity());
+  hist.Add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(hist.total(), 2u);
+  EXPECT_EQ(hist.count(0), 1u);
+  EXPECT_EQ(hist.count(3), 1u);
+
+  hist.Add(0.5);
+  EXPECT_EQ(hist.total(), 3u);
+  EXPECT_EQ(hist.dropped_nan(), 2u);
 }
 
 TEST(HistogramTest, FractionsSumToOne) {
