@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # CI smoke: build the Release and AddressSanitizer configs, run the full test
-# suite on Release, re-run the replay determinism tests under ASan, and run
-# the numeric/container tests under UBSan (which mechanically catches the
-# NaN-bin-index class of bug the histogram regression test pins down).
+# suite on Release, re-run the replay determinism tests under ASan, run the
+# numeric/container tests under UBSan (which mechanically catches the
+# NaN-bin-index class of bug the histogram regression test pins down), and
+# re-run the fault chaos + replay suites under ThreadSanitizer — the
+# crash-heavy and mid-run-abort schedules exercise the engine's queue drain
+# and worker join paths where a race would hide.
 #
 # Usage: scripts/ci_smoke.sh [build-root]   (default: ./ci-build)
 
@@ -12,32 +15,43 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_root="${1:-${repo_root}/ci-build}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
-echo "== [1/6] Configure + build: Release =="
+echo "== [1/8] Configure + build: Release =="
 cmake -S "${repo_root}" -B "${build_root}/release" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${build_root}/release" -j "${jobs}"
 
-echo "== [2/6] Tier-1 tests (Release) =="
+echo "== [2/8] Tier-1 tests (Release) =="
 ctest --test-dir "${build_root}/release" --output-on-failure -j "${jobs}"
 
-echo "== [3/6] Configure + build: AddressSanitizer =="
+echo "== [3/8] Configure + build: AddressSanitizer =="
 cmake -S "${repo_root}" -B "${build_root}/asan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEBS_SANITIZE=address >/dev/null
-cmake --build "${build_root}/asan" -j "${jobs}" --target replay_test
+cmake --build "${build_root}/asan" -j "${jobs}" --target replay_test fault_test
 
-echo "== [4/6] Replay determinism tests (ASan) =="
+echo "== [4/8] Replay determinism + fault chaos tests (ASan) =="
 "${build_root}/asan/tests/replay_test"
+"${build_root}/asan/tests/fault_test"
 
-echo "== [5/6] Configure + build: UndefinedBehaviorSanitizer =="
+echo "== [5/8] Configure + build: UndefinedBehaviorSanitizer =="
 cmake -S "${repo_root}" -B "${build_root}/ubsan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEBS_SANITIZE=undefined >/dev/null
 cmake --build "${build_root}/ubsan" -j "${jobs}" \
   --target util_container_test util_stats_test trace_test csv_export_test obs_test
 
-echo "== [6/6] Numeric + export + obs tests (UBSan) =="
+echo "== [6/8] Numeric + export + obs + fault tests (UBSan) =="
 UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/util_container_test"
 UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/util_stats_test"
 UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/trace_test"
 UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/csv_export_test"
 UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/obs_test"
+UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/fault_test"
+
+echo "== [7/8] Configure + build: ThreadSanitizer =="
+cmake -S "${repo_root}" -B "${build_root}/tsan" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEBS_SANITIZE=thread >/dev/null
+cmake --build "${build_root}/tsan" -j "${jobs}" --target replay_test fault_test
+
+echo "== [8/8] Replay + fault chaos tests (TSan: crash-heavy + abort drain) =="
+TSAN_OPTIONS=halt_on_error=1 "${build_root}/tsan/tests/replay_test"
+TSAN_OPTIONS=halt_on_error=1 "${build_root}/tsan/tests/fault_test"
 
 echo "ci_smoke: all green"

@@ -1,6 +1,7 @@
 #include "src/balancer/balancer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <map>
 #include <unordered_set>
@@ -84,18 +85,29 @@ uint32_t InterBsBalancer::PickImporter(size_t period, OpType op, uint32_t export
                                        VdId vd, const std::vector<double>& bs_traffic) {
   const size_t n = bs_ids_.size();
 
-  // Sibling exclusion: BSs already hosting a segment of this VD.
+  // Never import onto a BS that is down this period — liveness is excluded
+  // before the spread constraint so a freshly-evacuated (hence zero-traffic)
+  // dead BS can never win a min-score policy. Only when every other BS is
+  // down too does a dead slot stay eligible.
   std::unordered_set<uint32_t> excluded;
   excluded.insert(exporter_slot);
+  for (const uint32_t down : DownSlots(period)) {
+    if (down != exporter_slot && excluded.size() + 1 < n) {
+      excluded.insert(down);
+    }
+  }
+  // Sibling exclusion on top: BSs already hosting a segment of this VD. The
+  // spread constraint yields to liveness — when every live candidate hosts a
+  // sibling, imports go to a live sibling host, never to a dead BS.
   if (config_.enforce_vd_spread) {
+    std::unordered_set<uint32_t> with_spread = excluded;
     for (const SegmentState& seg : segments_) {
       if (seg.vd == vd) {
-        excluded.insert(seg.bs_slot);
+        with_spread.insert(seg.bs_slot);
       }
     }
-    if (excluded.size() >= n) {
-      excluded.clear();  // every BS hosts a sibling; fall back to any
-      excluded.insert(exporter_slot);
+    if (with_spread.size() < n) {
+      excluded = std::move(with_spread);
     }
   }
 
@@ -139,7 +151,8 @@ uint32_t InterBsBalancer::PickImporter(size_t period, OpType op, uint32_t export
         const std::vector<double> recent(hist.end() - static_cast<ptrdiff_t>(window),
                                          hist.end());
         const LinearFitResult fit = FitLine(recent);
-        return std::max(0.0, fit.intercept + fit.slope * static_cast<double>(window));
+        const double predicted = fit.intercept + fit.slope * static_cast<double>(window);
+        return std::isfinite(predicted) ? std::max(0.0, predicted) : bs_traffic[slot];
       });
     case ImporterPolicy::kIdeal: {
       if (period + 1 >= periods_) {
@@ -154,7 +167,11 @@ uint32_t InterBsBalancer::PickImporter(size_t period, OpType op, uint32_t export
     }
     case ImporterPolicy::kPredictive:
       return best_by([&](uint32_t slot) {
-        return predictors_.empty() ? bs_traffic[slot] : predictors_[slot]->PredictNext();
+        if (predictors_.empty()) {
+          return bs_traffic[slot];
+        }
+        const double predicted = predictors_[slot]->PredictNext();
+        return std::isfinite(predicted) ? predicted : bs_traffic[slot];
       });
     case ImporterPolicy::kSegmentForecast: {
       // Sum the per-segment forecasts under the current assignment: a
@@ -167,6 +184,76 @@ uint32_t InterBsBalancer::PickImporter(size_t period, OpType op, uint32_t export
     }
   }
   return exporter_slot;
+}
+
+std::vector<uint32_t> InterBsBalancer::DownSlots(size_t period) const {
+  std::vector<uint32_t> down;
+  if (config_.faults == nullptr) {
+    return down;
+  }
+  const size_t step = period * config_.period_steps;
+  for (uint32_t slot = 0; slot < bs_ids_.size(); ++slot) {
+    if (config_.faults->BlockServerDown(step, bs_ids_[slot])) {
+      down.push_back(slot);
+    }
+  }
+  return down;
+}
+
+void InterBsBalancer::ForcedMigrationPass(size_t period, std::vector<double>& bs_traffic,
+                                          BalancerResult& result) {
+  const std::vector<uint32_t> down = DownSlots(period);
+  if (down.empty()) {
+    return;
+  }
+  const size_t n = bs_ids_.size();
+  std::vector<char> is_down(n, 0);
+  for (const uint32_t slot : down) {
+    is_down[slot] = 1;
+  }
+
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    SegmentState& seg = segments_[s];
+    if (is_down[seg.bs_slot] == 0) {
+      continue;
+    }
+    // Least-loaded healthy importer; spread-preserving candidates win,
+    // sibling-hosting ones are the fallback. Ties break on the lowest slot.
+    uint32_t best = seg.bs_slot;
+    double best_score = std::numeric_limits<double>::infinity();
+    bool best_spread_ok = false;
+    for (uint32_t slot = 0; slot < n; ++slot) {
+      if (is_down[slot] != 0 || slot == seg.bs_slot) {
+        continue;
+      }
+      bool spread_ok = true;
+      if (config_.enforce_vd_spread) {
+        for (const SegmentState& other : segments_) {
+          if (&other != &seg && other.vd == seg.vd && other.bs_slot == slot) {
+            spread_ok = false;
+            break;
+          }
+        }
+      }
+      const bool better = (spread_ok && !best_spread_ok) ||
+                          (spread_ok == best_spread_ok && bs_traffic[slot] < best_score);
+      if (best == seg.bs_slot || better) {
+        best = slot;
+        best_score = bs_traffic[slot];
+        best_spread_ok = spread_ok;
+      }
+    }
+    if (best == seg.bs_slot) {
+      continue;  // the whole cluster is down; nowhere to evacuate
+    }
+    const double traffic = SegmentPeriodTraffic(s, period, OpType::kWrite);
+    bs_traffic[seg.bs_slot] -= traffic;
+    bs_traffic[best] += traffic;
+    result.migrations.push_back(
+        {seg.id, bs_ids_[seg.bs_slot], bs_ids_[best], period, OpType::kWrite, /*forced=*/true});
+    ++result.forced_migrations;
+    seg.bs_slot = best;
+  }
 }
 
 void InterBsBalancer::BalancePass(size_t period, OpType op, std::vector<double>& bs_traffic,
@@ -235,6 +322,11 @@ BalancerResult InterBsBalancer::Run() {
     }
     result.write_cov.push_back(NormalizedCoV(write_traffic));
     result.read_cov.push_back(NormalizedCoV(read_traffic));
+
+    // Failure-triggered evacuation first: load balancing then runs over the
+    // post-evacuation assignment and never exports from or imports to a dead
+    // BS.
+    ForcedMigrationPass(period, write_traffic, result);
 
     // S7: refresh per-segment EWMA forecasts before balancing.
     if (config_.policy == ImporterPolicy::kSegmentForecast) {

@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/fault/driver.h"
 #include "src/ml/predictor.h"
 #include "src/topology/fleet.h"
 #include "src/trace/records.h"
@@ -54,6 +55,12 @@ struct BalancerConfig {
   // Factory for S6; called once per BlockServer.
   std::function<std::unique_ptr<SeriesPredictor>()> predictor_factory;
   double segment_ewma_alpha = 0.5;  // S7 smoothing factor
+
+  // Optional fault awareness (not owned; nullptr = healthy fleet). When set,
+  // each period first force-migrates every segment whose BS is down at the
+  // period start (failure-triggered re-replication), and importer selection
+  // never targets a down BS.
+  const FaultDriver* faults = nullptr;
 };
 
 struct Migration {
@@ -62,11 +69,13 @@ struct Migration {
   BlockServerId to;
   size_t period = 0;
   OpType basis = OpType::kWrite;  // which pass triggered it
+  bool forced = false;            // failure-triggered, not load-triggered
 };
 
 struct BalancerResult {
   std::vector<Migration> migrations;
   size_t periods = 0;
+  size_t forced_migrations = 0;  // subset of migrations with forced=true
   // Per-period inter-BS traffic CoV under the live assignment.
   std::vector<double> write_cov;
   std::vector<double> read_cov;
@@ -92,6 +101,13 @@ class InterBsBalancer {
   // Runs one balancing pass (write or read basis) for a period.
   void BalancePass(size_t period, OpType op, std::vector<double>& bs_traffic,
                    BalancerResult& result);
+  // Failure-triggered pass: evacuates every segment whose BS is down at the
+  // period start onto the least-loaded healthy BS (spread-preserving when
+  // possible). No-op without config.faults.
+  void ForcedMigrationPass(size_t period, std::vector<double>& bs_traffic,
+                           BalancerResult& result);
+  // Slots whose BS is down at the period's first step (empty when healthy).
+  std::vector<uint32_t> DownSlots(size_t period) const;
   uint32_t PickImporter(size_t period, OpType op, uint32_t exporter_slot, VdId vd,
                         const std::vector<double>& bs_traffic);
 

@@ -137,6 +137,9 @@ CacheReplayResult ReplayVdCache(std::span<const TraceRecord* const> vd_traces,
   uint64_t hits = 0;
   uint64_t accesses = 0;
   for (const TraceRecord* r : vd_traces) {
+    if (r->fault_timed_out) {
+      continue;  // never reached the data path; OnlineCacheSink skips it too
+    }
     const uint64_t start_page = r->offset / kPageBytes;
     const size_t pages = std::max<size_t>(1, r->size_bytes / kPageBytes);
     hits += AccessRange(*cache, start_page, pages);

@@ -26,10 +26,16 @@ void OnlineCacheSink::OnStart(const Fleet& fleet, size_t /*window_steps*/,
   per_vd_.resize(fleet.vds.size());
   total_hits_ = 0;
   total_accesses_ = 0;
+  fault_bypassed_ = 0;
 }
 
 void OnlineCacheSink::OnEvent(const ReplayEvent& event) {
   event_counter_->Increment();
+  if (event.record.fault_timed_out) {
+    ++fault_bypassed_;
+    bypass_counter_->Increment();
+    return;
+  }
   VdCacheState& state = per_vd_[event.record.vd.value()];
   if (state.cache == nullptr) {
     state.cache = MakeCache(policy_, capacity_pages_);

@@ -35,6 +35,11 @@ class OnlineCacheSink : public ReplaySink {
   CacheReplayResult ResultFor(VdId vd) const;
   uint64_t total_page_accesses() const { return total_accesses_; }
   uint64_t total_page_hits() const { return total_hits_; }
+  // Degraded-mode fallback: IOs a fault timed out never reached the data
+  // path, so they bypass the cache — no warming, no access counted.
+  // ReplayVdCache applies the same skip, keeping online == offline under any
+  // fault schedule.
+  uint64_t fault_bypassed_events() const { return fault_bypassed_; }
 
  private:
   struct VdCacheState {
@@ -49,7 +54,10 @@ class OnlineCacheSink : public ReplaySink {
   std::vector<VdCacheState> per_vd_;
   uint64_t total_hits_ = 0;
   uint64_t total_accesses_ = 0;
+  uint64_t fault_bypassed_ = 0;
   obs::Counter* event_counter_ = obs::MetricRegistry::Global().GetCounter("sink.cache.events");
+  obs::Counter* bypass_counter_ =
+      obs::MetricRegistry::Global().GetCounter("sink.cache.fault_bypassed");
 };
 
 }  // namespace ebs

@@ -42,6 +42,10 @@ class EbsSimulation {
   const WorkloadResult& workload() const { return workload_; }
   const MetricDataset& metrics() const { return workload_.metrics; }
   const TraceDataset& traces() const { return workload_.traces; }
+  // Fault accounting of the run; all-zero when config.workload.faults is
+  // empty. Construction throws UnrecoverableFaultError for schedules carrying
+  // a kUnrecoverable event (generation happens in the constructor).
+  const FaultStats& fault_stats() const { return workload_.faults; }
 
   // Cached rollups, computed once on first use. Safe to call from multiple
   // threads concurrently (each cache fills under a std::once_flag).

@@ -48,6 +48,11 @@ class StreamingSimulation {
   const WorkloadResult& workload() const;
   const MetricDataset& metrics() const { return workload().metrics; }
   const TraceDataset& traces() const { return workload().traces; }
+  // Fault accounting; valid after Run(). Matches the batch facade's
+  // fault_stats() field for field under any worker count.
+  const FaultStats& fault_stats() const { return workload().faults; }
+  // nullptr on a healthy run; sinks that degrade under faults take this.
+  const FaultDriver* fault_driver() const { return engine_.fault_driver(); }
 
   // Rollups assembled incrementally during the run.
   const std::vector<RwSeries>& VdSeries() const { return aggregator().vd(); }

@@ -1,0 +1,174 @@
+#include "src/fault/schedule.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "src/util/rng.h"
+
+namespace ebs {
+
+const char* FaultTypeName(FaultType type) {
+  switch (type) {
+    case FaultType::kBlockServerCrash:
+      return "bs-crash";
+    case FaultType::kChunkServerSlowdown:
+      return "cs-slowdown";
+    case FaultType::kSegmentUnavailable:
+      return "segment-unavailable";
+    case FaultType::kNetworkHiccup:
+      return "network-hiccup";
+    case FaultType::kUnrecoverable:
+      return "unrecoverable";
+  }
+  return "unknown";
+}
+
+void FaultStats::Accumulate(const FaultStats& other) {
+  issued += other.issued;
+  completed += other.completed;
+  timed_out += other.timed_out;
+  retries += other.retries;
+  failovers += other.failovers;
+  slowed += other.slowed;
+  hiccuped += other.hiccuped;
+  degraded_steps += other.degraded_steps;
+}
+
+void ValidateSchedule(const FaultSchedule& schedule, const Fleet& fleet, size_t window_steps) {
+  const auto fail = [](size_t index, const FaultEvent& event, const std::string& what) {
+    throw std::invalid_argument("FaultSchedule event " + std::to_string(index) + " (" +
+                                FaultTypeName(event.type) + "): " + what);
+  };
+  for (size_t i = 0; i < schedule.events.size(); ++i) {
+    const FaultEvent& event = schedule.events[i];
+    if (event.start_step > event.end_step) {
+      fail(i, event, "start_step > end_step");
+    }
+    if (event.end_step > window_steps && event.type != FaultType::kUnrecoverable) {
+      fail(i, event, "end_step past the observation window");
+    }
+    if (event.severity < 1.0) {
+      fail(i, event, "severity must be >= 1");
+    }
+    switch (event.type) {
+      case FaultType::kBlockServerCrash:
+        if (event.target >= fleet.block_servers.size()) {
+          fail(i, event, "target BlockServer does not exist");
+        }
+        break;
+      case FaultType::kChunkServerSlowdown:
+        if (event.target >= fleet.storage_nodes.size()) {
+          fail(i, event, "target StorageNode does not exist");
+        }
+        break;
+      case FaultType::kSegmentUnavailable:
+        if (event.target >= fleet.segments.size()) {
+          fail(i, event, "target Segment does not exist");
+        }
+        break;
+      case FaultType::kNetworkHiccup:
+        if (event.target != kAllClusters && event.target >= fleet.storage_clusters.size()) {
+          fail(i, event, "target StorageCluster does not exist");
+        }
+        break;
+      case FaultType::kUnrecoverable:
+        if (event.start_step >= window_steps) {
+          fail(i, event, "unrecoverable step past the observation window");
+        }
+        break;
+    }
+  }
+  if (schedule.retry.max_attempts < 1) {
+    throw std::invalid_argument("FaultSchedule: retry.max_attempts must be >= 1");
+  }
+}
+
+FaultSchedule CrashHeavySchedule(const Fleet& fleet, size_t window_steps, uint64_t seed) {
+  FaultSchedule schedule;
+  Rng rng(seed);
+  const size_t third = std::max<size_t>(1, window_steps / 3);
+
+  // Staggered crashes over ~half the BlockServers, each down for about a
+  // third of the window.
+  const size_t crashes = std::max<size_t>(1, fleet.block_servers.size() / 2);
+  for (size_t i = 0; i < crashes; ++i) {
+    FaultEvent event;
+    event.type = FaultType::kBlockServerCrash;
+    event.target = static_cast<uint32_t>(rng.NextBounded(fleet.block_servers.size()));
+    event.start_step = static_cast<size_t>(rng.NextBounded(window_steps));
+    event.end_step = std::min(window_steps, event.start_step + third);
+    schedule.events.push_back(event);
+  }
+
+  if (!fleet.storage_nodes.empty()) {
+    FaultEvent brownout;
+    brownout.type = FaultType::kChunkServerSlowdown;
+    brownout.target = static_cast<uint32_t>(rng.NextBounded(fleet.storage_nodes.size()));
+    brownout.start_step = 0;
+    brownout.end_step = std::min(window_steps, third * 2);
+    brownout.severity = 4.0;
+    schedule.events.push_back(brownout);
+  }
+
+  if (!fleet.segments.empty()) {
+    FaultEvent lost;
+    lost.type = FaultType::kSegmentUnavailable;
+    lost.target = static_cast<uint32_t>(rng.NextBounded(fleet.segments.size()));
+    lost.start_step = static_cast<size_t>(rng.NextBounded(std::max<size_t>(1, window_steps / 2)));
+    lost.end_step = std::min(window_steps, lost.start_step + third);
+    schedule.events.push_back(lost);
+  }
+
+  FaultEvent hiccup;
+  hiccup.type = FaultType::kNetworkHiccup;
+  hiccup.target = kAllClusters;
+  hiccup.start_step = window_steps / 2;
+  hiccup.end_step = std::min(window_steps, hiccup.start_step + std::max<size_t>(1, third / 2));
+  hiccup.severity = 3.0;
+  schedule.events.push_back(hiccup);
+
+  return schedule;
+}
+
+FaultSchedule RandomSchedule(const Fleet& fleet, size_t window_steps, uint64_t seed,
+                             size_t event_count) {
+  FaultSchedule schedule;
+  const Rng root(seed);
+  for (size_t i = 0; i < event_count; ++i) {
+    // One forked stream per event index: event i is identical no matter how
+    // many events follow it, which gives the nesting (prefix) property.
+    Rng rng = root.Fork(i);
+    FaultEvent event;
+    switch (rng.NextBounded(4)) {
+      case 0:
+        event.type = FaultType::kBlockServerCrash;
+        event.target = static_cast<uint32_t>(rng.NextBounded(fleet.block_servers.size()));
+        break;
+      case 1:
+        event.type = FaultType::kChunkServerSlowdown;
+        event.target = static_cast<uint32_t>(rng.NextBounded(fleet.storage_nodes.size()));
+        event.severity = 1.0 + rng.NextDouble() * 7.0;
+        break;
+      case 2:
+        event.type = FaultType::kSegmentUnavailable;
+        event.target = static_cast<uint32_t>(rng.NextBounded(fleet.segments.size()));
+        break;
+      default:
+        event.type = FaultType::kNetworkHiccup;
+        event.target = rng.NextBool(0.5) ? kAllClusters
+                                         : static_cast<uint32_t>(
+                                               rng.NextBounded(fleet.storage_clusters.size()));
+        event.severity = 1.0 + rng.NextDouble() * 4.0;
+        break;
+    }
+    event.start_step = static_cast<size_t>(rng.NextBounded(window_steps));
+    const size_t max_len = std::max<size_t>(1, window_steps / 4);
+    event.end_step =
+        std::min(window_steps, event.start_step + 1 + static_cast<size_t>(rng.NextBounded(max_len)));
+    schedule.events.push_back(event);
+  }
+  return schedule;
+}
+
+}  // namespace ebs

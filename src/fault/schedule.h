@@ -1,0 +1,106 @@
+// Declarative fault timelines for degraded-mode simulation.
+//
+// A FaultSchedule is a list of timed events over the observation window:
+// BlockServer crashes (with implicit restart at the window end), ChunkServer
+// slowdowns, segment-unavailability windows, network hiccups, and a simulated
+// unrecoverable error that aborts the run mid-window (the abort-path chaos
+// test). The schedule is pure data — the FaultDriver interprets it — and an
+// empty schedule is the contract for "nothing ever breaks": every consumer
+// must short-circuit to the exact pre-fault code path, bit for bit.
+//
+// Determinism contract: fault effects are a pure function of
+// (schedule, fleet, sampled IO record). No fault draws from the workload's
+// RNG streams and no fault outcome depends on thread count, shard
+// assignment, or merge order, which is what keeps streaming and batch runs
+// fingerprint-identical under any schedule.
+
+#ifndef SRC_FAULT_SCHEDULE_H_
+#define SRC_FAULT_SCHEDULE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/topology/fleet.h"
+#include "src/topology/latency.h"
+
+namespace ebs {
+
+enum class FaultType : uint8_t {
+  // target: BlockServerId. IOs whose segment lives on the BS fail over to a
+  // sibling-free BS of the same cluster (retry + backoff accounting) or time
+  // out when every candidate is down. The BS restarts at end_step.
+  kBlockServerCrash = 0,
+  // target: StorageNodeId. The node's ChunkServer serves IO `severity` times
+  // slower (brownout: GC storms, failing flash).
+  kChunkServerSlowdown,
+  // target: SegmentId. The segment's data is unreachable regardless of which
+  // BS serves it (replica loss): every IO retries to exhaustion and times out.
+  kSegmentUnavailable,
+  // target: StorageClusterId, or kAllClusters. Both network legs of every IO
+  // in the cluster stretch by `severity` x the hiccup base latency (incast,
+  // ToR failover).
+  kNetworkHiccup,
+  // target: ignored. The simulated fleet hits a fatal condition at start_step:
+  // generation throws UnrecoverableFaultError. Exercises the engine's abort
+  // path (drain workers, no deadlock, no leaked batches).
+  kUnrecoverable,
+};
+inline constexpr int kFaultTypeCount = 5;
+const char* FaultTypeName(FaultType type);
+
+// kNetworkHiccup target meaning "every storage cluster".
+inline constexpr uint32_t kAllClusters = 0xFFFFFFFFu;
+
+struct FaultEvent {
+  FaultType type = FaultType::kBlockServerCrash;
+  uint32_t target = 0;    // id in the type's domain (see FaultType)
+  size_t start_step = 0;  // active over [start_step, end_step)
+  size_t end_step = 0;    // start == end: armed but never fires
+  double severity = 1.0;  // slowdown multiplier / hiccup scale; >= 1
+};
+
+// Aggregate fault accounting of one run. Everything except degraded_steps is
+// a sum over sampled IOs, so shard-local tallies add up to the batch totals.
+struct FaultStats {
+  uint64_t issued = 0;     // sampled IOs that entered the fault layer
+  uint64_t completed = 0;  // finished, possibly after retries / failover
+  uint64_t timed_out = 0;  // exhausted every attempt; issued==completed+timed_out
+  uint64_t retries = 0;    // failed attempts across all IOs
+  uint64_t failovers = 0;  // IOs re-homed to a different BlockServer
+  uint64_t slowed = 0;     // IOs stretched by a ChunkServer slowdown
+  uint64_t hiccuped = 0;   // IOs stretched by a network hiccup
+  uint64_t degraded_steps = 0;  // steps with >= 1 active fault (whole run)
+
+  void Accumulate(const FaultStats& other);
+};
+
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+  // Retry/timeout accounting applied to IOs that hit a failed component.
+  RetryPolicy retry;
+
+  bool empty() const { return events.empty(); }
+};
+
+// Throws std::invalid_argument when an event references an id outside the
+// fleet's domains, has start > end, reaches past window_steps, or carries a
+// severity < 1.
+void ValidateSchedule(const FaultSchedule& schedule, const Fleet& fleet, size_t window_steps);
+
+// A stress schedule for chaos tests: staggered BlockServer crashes covering
+// roughly a third of the window each, one ChunkServer brownout, one segment
+// loss, and a fleet-wide network hiccup. Deterministic in (fleet, seed).
+FaultSchedule CrashHeavySchedule(const Fleet& fleet, size_t window_steps, uint64_t seed);
+
+// `event_count` independently drawn events. Schedules with the same
+// (fleet, window, seed) nest: the first k events of RandomSchedule(..., n)
+// equal RandomSchedule(..., k) for k <= n — the property tests rely on this
+// to check that fault effects are monotone in failure density. Never emits
+// kUnrecoverable.
+FaultSchedule RandomSchedule(const Fleet& fleet, size_t window_steps, uint64_t seed,
+                             size_t event_count);
+
+}  // namespace ebs
+
+#endif  // SRC_FAULT_SCHEDULE_H_

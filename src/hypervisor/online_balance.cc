@@ -12,6 +12,7 @@ OnlineWtCovSink::OnlineWtCovSink(OpType op, size_t cov_window_steps)
 void OnlineWtCovSink::OnStart(const Fleet& fleet, size_t /*window_steps*/,
                               double /*step_seconds*/) {
   fleet_ = &fleet;
+  degraded_steps_seen_ = 0;
   window_acc_.assign(fleet.wts.size(), 0.0);
   step_total_.assign(fleet.wts.size(), 0.0);
   per_node_.assign(fleet.nodes.size(), {});
@@ -20,6 +21,9 @@ void OnlineWtCovSink::OnStart(const Fleet& fleet, size_t /*window_steps*/,
 
 void OnlineWtCovSink::OnStepComplete(const ReplayStepView& view) {
   obs::ScopedTimer timer(step_timer_);
+  if (fault_driver_ != nullptr && fault_driver_->StepDegraded(view.step)) {
+    ++degraded_steps_seen_;  // samples below are fault-immune; just flag it
+  }
   // Two-stage accumulation keeps the FP addition order identical to batch:
   // RollupToWt folds QPs (fleet order) into the per-step WT value first, and
   // WtCovSamples then folds steps in ascending order.

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "src/fault/driver.h"
 #include "src/obs/metrics.h"
 #include "src/replay/sink.h"
 #include "src/topology/fleet.h"
@@ -31,11 +32,20 @@ class OnlineWtCovSink : public ReplaySink {
   // after OnFinish (a trailing partial window is discarded, as in batch).
   const std::vector<double>& samples() const { return samples_; }
 
+  // Degraded-mode fallback: the per-QP columns this sink reads are full-scale
+  // metric data, which faults never alter, so the CoV samples are identical
+  // on degraded runs. The sink only counts the degraded steps it saw.
+  // `driver` is not owned and may be nullptr.
+  void set_fault_driver(const FaultDriver* driver) { fault_driver_ = driver; }
+  uint64_t degraded_steps_seen() const { return degraded_steps_seen_; }
+
  private:
   OpType op_;
   size_t cov_window_steps_;
 
   const Fleet* fleet_ = nullptr;
+  const FaultDriver* fault_driver_ = nullptr;
+  uint64_t degraded_steps_seen_ = 0;
   std::vector<double> window_acc_;   // per-WT bytes in the current window
   std::vector<double> step_total_;   // per-WT bytes of the current step
   std::vector<std::vector<double>> per_node_;  // samples grouped by node

@@ -191,7 +191,11 @@ class ArimaPredictor final : public SeriesPredictor {
     if (!fit_.valid) {
       return series.back();
     }
-    return std::max(0.0, ForecastOne(fit_, series));
+    const double forecast = ForecastOne(fit_, series);
+    if (!std::isfinite(forecast)) {
+      return series.back();  // degenerate fit (e.g. constant history): no NaN
+    }
+    return std::max(0.0, forecast);
   }
 
   std::string name() const override { return "arima"; }

@@ -278,7 +278,11 @@ double AttentionForecaster::PredictNext(size_t entity) const {
     window[i] = Normalize(history_[history_.size() - l + i][entity]);
   }
   const double normalized = Forward(window);
-  return std::max(0.0, Denormalize(normalized));
+  const double forecast = Denormalize(normalized);
+  if (!std::isfinite(forecast)) {
+    return history_.back()[entity];  // degenerate normalization: no NaN
+  }
+  return std::max(0.0, forecast);
 }
 
 }  // namespace ebs

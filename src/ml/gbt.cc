@@ -213,7 +213,11 @@ class GbtPredictor final : public SeriesPredictor {
     for (size_t i = 0; i < lags; ++i) {
       features[i] = history_[history_.size() - lags + i];
     }
-    return std::max(0.0, model_.Predict(features));
+    const double prediction = model_.Predict(features);
+    if (!std::isfinite(prediction)) {
+      return history_.back();  // degenerate fit: never emit NaN
+    }
+    return std::max(0.0, prediction);
   }
 
   std::string name() const override { return "gbt"; }

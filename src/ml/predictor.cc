@@ -1,6 +1,7 @@
 #include "src/ml/predictor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <vector>
 
@@ -42,6 +43,9 @@ class LinearFitPredictor final : public SeriesPredictor {
     const LinearFitResult fit = FitLine(values);
     const double prediction =
         fit.intercept + fit.slope * static_cast<double>(values.size());
+    if (!std::isfinite(prediction)) {
+      return history_.back();  // cold-start / degenerate fit: never emit NaN
+    }
     return std::max(0.0, prediction);
   }
 

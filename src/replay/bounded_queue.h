@@ -68,6 +68,23 @@ class BoundedQueue {
     not_empty_.notify_all();
   }
 
+  // Closes the queue and discards everything still buffered, returning how
+  // many items were thrown away. The abort path uses this instead of Close so
+  // batches that were generated but never merged are counted as dropped
+  // rather than silently destroyed with the queue. Items are destroyed
+  // outside the lock (they can be arbitrarily large).
+  size_t CloseAndDrain() {
+    std::deque<T> drained;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      drained.swap(items_);
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+    return drained.size();
+  }
+
  private:
   const size_t capacity_;
   mutable std::mutex mu_;

@@ -16,7 +16,12 @@
 namespace ebs {
 
 ReplayEngine::ReplayEngine(const Fleet& fleet, WorkloadConfig config, ReplayOptions options)
-    : fleet_(fleet), config_(config), options_(options) {}
+    : fleet_(fleet), config_(std::move(config)), options_(options) {
+  if (!config_.faults.empty()) {
+    fault_driver_ = std::make_unique<FaultDriver>(fleet_, config_.faults, config_.window_steps,
+                                                  config_.step_seconds);
+  }
+}
 
 void ReplayEngine::AddSink(ReplaySink* sink) { sinks_.push_back(sink); }
 
@@ -50,7 +55,7 @@ WorkloadResult ReplayEngine::Run() {
   queues.reserve(shard_count);
   for (size_t s = 0; s < shard_count; ++s) {
     shards.push_back(std::make_unique<ReplayShard>(fleet_, config_, static_cast<uint32_t>(s),
-                                                   std::move(assignment[s])));
+                                                   std::move(assignment[s]), fault_driver_.get()));
     queues.push_back(std::make_unique<BoundedQueue<ShardBatch>>(options_.queue_capacity));
   }
 
@@ -111,8 +116,10 @@ WorkloadResult ReplayEngine::Run() {
   }
 
   auto abort_and_join = [&] {
+    // CloseAndDrain (not plain Close): batches already generated but never
+    // merged must land in the dropped counter, not vanish silently.
     for (auto& queue : queues) {
-      queue->Close();
+      dropped->Add(queue->CloseAndDrain());
     }
     for (auto& worker : workers) {
       if (worker.joinable()) {
@@ -217,6 +224,12 @@ WorkloadResult ReplayEngine::Run() {
 
   for (auto& shard : shards) {
     shard->ExportSegments(&result.metrics);
+    result.faults.Accumulate(shard->fault_stats());
+  }
+  if (fault_driver_ != nullptr) {
+    // Whole-window property of the schedule — taken from the driver once, not
+    // summed across shards.
+    result.faults.degraded_steps = fault_driver_->DegradedStepCount();
   }
   if (config_.sampling_rate > 0.0) {
     stats_.modeled_ios = static_cast<double>(stats_.events) / config_.sampling_rate;

@@ -18,8 +18,10 @@
 #define SRC_REPLAY_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "src/fault/driver.h"
 #include "src/replay/sink.h"
 #include "src/topology/fleet.h"
 #include "src/workload/generator.h"
@@ -42,6 +44,10 @@ struct ReplayStats {
 
 class ReplayEngine {
  public:
+  // Builds the fault driver when config.faults has events (validating the
+  // schedule; throws std::invalid_argument on a malformed one). With an empty
+  // schedule the fault layer is skipped wholesale: the merged stream and
+  // datasets are bit-identical to a build without the fault subsystem.
   ReplayEngine(const Fleet& fleet, WorkloadConfig config, ReplayOptions options = {});
 
   // Registers an observer; not owned. Sinks run on the merge thread in
@@ -56,10 +62,15 @@ class ReplayEngine {
 
   const ReplayStats& stats() const { return stats_; }
 
+  // The engine's fault driver; nullptr on a healthy run. Sinks that degrade
+  // under faults (online cache/lending/balance) take this pointer.
+  const FaultDriver* fault_driver() const { return fault_driver_.get(); }
+
  private:
   const Fleet& fleet_;
   WorkloadConfig config_;
   ReplayOptions options_;
+  std::unique_ptr<FaultDriver> fault_driver_;
   std::vector<ReplaySink*> sinks_;
   ReplayStats stats_;
 };

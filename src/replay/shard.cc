@@ -5,11 +5,12 @@
 namespace ebs {
 
 ReplayShard::ReplayShard(const Fleet& fleet, const WorkloadConfig& config, uint32_t shard_index,
-                         std::vector<uint32_t> vm_ids)
+                         std::vector<uint32_t> vm_ids, const FaultDriver* faults)
     : fleet_(fleet),
       config_(config),
       shard_index_(shard_index),
       vm_ids_(std::move(vm_ids)),
+      faults_(faults != nullptr && faults->armed() ? faults : nullptr),
       temporal_({config.window_steps, config.step_seconds}),
       latency_model_(config.latency) {}
 
@@ -40,10 +41,26 @@ void ReplayShard::Init(std::vector<RwSeries>* qp_series, std::vector<RwSeries>* 
 ShardBatch ReplayShard::GenerateStep(size_t t) {
   ShardBatch batch;
   batch.step = static_cast<uint32_t>(t);
+  bool step_degraded = false;
+  if (faults_ != nullptr) {
+    faults_->CheckUnrecoverable(t);
+    // Every record of this step maps to step index t, so one degraded check
+    // covers the whole batch: a healthy step only counts its IOs.
+    step_degraded = faults_->StepDegraded(t);
+  }
   for (size_t i = 0; i < streams_.size(); ++i) {
     scratch_.clear();
     streams_[i]->Step(t, &scratch_);
+    if (faults_ != nullptr && !step_degraded) {
+      fault_stats_.issued += scratch_.size();
+      fault_stats_.completed += scratch_.size();
+    }
     for (TraceRecord& record : scratch_) {
+      if (step_degraded) {
+        // Pure per-record transform: applying it shard-locally here equals
+        // the batch generator's post-sort application, record for record.
+        faults_->Apply(&record, &fault_stats_);
+      }
       ReplayEvent event;
       event.record = record;
       event.step = batch.step;

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/fault/driver.h"
 #include "src/replay/sink.h"
 #include "src/topology/fleet.h"
 #include "src/topology/latency.h"
@@ -33,8 +34,11 @@ struct ShardBatch {
 
 class ReplayShard {
  public:
+  // `faults` may be nullptr (healthy run). When set, GenerateStep applies the
+  // driver to every record it emits and throws UnrecoverableFaultError at the
+  // scheduled abort step; the shard's tallies are in fault_stats().
   ReplayShard(const Fleet& fleet, const WorkloadConfig& config, uint32_t shard_index,
-              std::vector<uint32_t> vm_ids);
+              std::vector<uint32_t> vm_ids, const FaultDriver* faults = nullptr);
 
   // Builds every VM stream of the shard — the expensive part (spatial models,
   // whole-window rate processes). Runs on the worker thread; writes only this
@@ -57,11 +61,17 @@ class ReplayShard {
   uint32_t shard_index() const { return shard_index_; }
   size_t stream_count() const { return streams_.size(); }
 
+  // Fault accounting over this shard's records; sums across shards to the
+  // batch generator's totals (all fields are per-IO sums).
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
  private:
   const Fleet& fleet_;
   const WorkloadConfig& config_;
   uint32_t shard_index_;
   std::vector<uint32_t> vm_ids_;
+  const FaultDriver* faults_;  // not owned; nullptr when unarmed
+  FaultStats fault_stats_;
 
   RateProcessGenerator temporal_;
   LatencyModel latency_model_;

@@ -18,6 +18,7 @@ void OnlineLendingSink::OnStart(const Fleet& fleet, size_t /*window_steps*/,
                                 double step_seconds) {
   fleet_ = &fleet;
   gains_.clear();
+  degraded_steps_seen_ = 0;
   state_.assign(groups_.size(), GroupState{});
   for (size_t g = 0; g < groups_.size(); ++g) {
     GroupState& state = state_[g];
@@ -42,6 +43,9 @@ void OnlineLendingSink::OnStepComplete(const ReplayStepView& view) {
   obs::ScopedTimer timer(step_timer_);
   const size_t t = view.step;
   const double p = config_.lending_rate;
+  if (fault_driver_ != nullptr && fault_driver_->StepDegraded(t)) {
+    ++degraded_steps_seen_;  // the math below is fault-immune; just flag it
+  }
 
   const auto throttled = [](const Usage& usage, const Caps& caps) {
     return (caps.bytes > 0.0 && usage.Bytes() > caps.bytes) ||

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/fault/driver.h"
 #include "src/obs/metrics.h"
 #include "src/replay/sink.h"
 #include "src/throttle/throttle.h"
@@ -33,6 +34,16 @@ class OnlineLendingSink : public ReplaySink {
   const std::vector<double>& gains() const { return gains_; }
   uint64_t baseline_throttled_seconds() const;
   uint64_t lending_throttled_seconds() const;
+
+  // Degraded-mode fallback: throttling caps are enforced on the compute side,
+  // before any IO meets the faulty storage path, and the offered-load columns
+  // the algorithm reads are full-scale metric data that faults do not alter —
+  // so the math runs unchanged through degraded periods. The sink only keeps
+  // count of the steps it processed while the fleet was degraded, for
+  // operators correlating lending decisions with incidents. `driver` is not
+  // owned and may be nullptr (healthy run).
+  void set_fault_driver(const FaultDriver* driver) { fault_driver_ = driver; }
+  uint64_t degraded_steps_seen() const { return degraded_steps_seen_; }
 
  private:
   struct Caps {
@@ -60,6 +71,8 @@ class OnlineLendingSink : public ReplaySink {
   ThrottleConfig config_;
 
   const Fleet* fleet_ = nullptr;
+  const FaultDriver* fault_driver_ = nullptr;
+  uint64_t degraded_steps_seen_ = 0;
   std::vector<GroupState> state_;
   std::vector<double> gains_;
   obs::ObsHistogram* step_timer_ = obs::MetricRegistry::Global().GetTimer("sink.lending.step");

@@ -236,4 +236,45 @@ Fleet BuildFleet(const FleetConfig& config) {
   return fleet;
 }
 
+std::vector<BlockServerId> FailoverCandidates(const Fleet& fleet, SegmentId segment) {
+  const Segment& seg = fleet.segments[segment.value()];
+  const BlockServer& primary = fleet.block_servers[seg.server.value()];
+  const StorageCluster& cluster = fleet.storage_clusters[primary.cluster.value()];
+
+  // Sibling-hosting BSs: placing a second segment of the VD there would break
+  // the same-VD-different-BS spread, so they rank last.
+  std::vector<uint32_t> sibling_bs;
+  for (const SegmentId sib : fleet.vds[seg.vd.value()].segments) {
+    if (sib.value() != segment.value()) {
+      sibling_bs.push_back(fleet.segments[sib.value()].server.value());
+    }
+  }
+  const auto hosts_sibling = [&sibling_bs](uint32_t bs) {
+    return std::find(sibling_bs.begin(), sibling_bs.end(), bs) != sibling_bs.end();
+  };
+
+  // The cluster's BSs in ascending id order form the ring; rotate so the walk
+  // starts just after the primary.
+  std::vector<uint32_t> ring;
+  ring.reserve(cluster.nodes.size());
+  for (const StorageNodeId node : cluster.nodes) {
+    ring.push_back(fleet.storage_nodes[node.value()].block_server.value());
+  }
+  std::sort(ring.begin(), ring.end());
+  const auto at = std::find(ring.begin(), ring.end(), seg.server.value());
+  const size_t start = at == ring.end() ? 0 : static_cast<size_t>(at - ring.begin()) + 1;
+
+  std::vector<BlockServerId> spread_ok;
+  std::vector<BlockServerId> spread_breaking;
+  for (size_t i = 0; i < ring.size(); ++i) {
+    const uint32_t bs = ring[(start + i) % ring.size()];
+    if (bs == seg.server.value()) {
+      continue;
+    }
+    (hosts_sibling(bs) ? spread_breaking : spread_ok).push_back(BlockServerId(bs));
+  }
+  spread_ok.insert(spread_ok.end(), spread_breaking.begin(), spread_breaking.end());
+  return spread_ok;
+}
+
 }  // namespace ebs

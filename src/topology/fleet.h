@@ -74,6 +74,14 @@ std::vector<VdSpec> DefaultSpecCatalog();
 // Builds a fleet; deterministic in config.seed.
 Fleet BuildFleet(const FleetConfig& config);
 
+// Failover / re-replication candidates for a segment: every other
+// BlockServer of the segment's cluster, starting after the primary in
+// ascending ring order. BSs already hosting a sibling segment of the same VD
+// (the same-VD-different-BS placement constraint) are pushed to the back of
+// the list — they are used only when every spread-preserving candidate is
+// unavailable. Deterministic, depends only on fleet structure.
+std::vector<BlockServerId> FailoverCandidates(const Fleet& fleet, SegmentId segment);
+
 }  // namespace ebs
 
 #endif  // SRC_TOPOLOGY_FLEET_H_

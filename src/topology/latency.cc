@@ -1,5 +1,6 @@
 #include "src/topology/latency.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
@@ -35,6 +36,29 @@ double LatencyBreakdown::TotalWithBsCacheHit(double flash_read_us) const {
   return component_us[static_cast<int>(StackComponent::kComputeNode)] +
          component_us[static_cast<int>(StackComponent::kFrontendNetwork)] +
          component_us[static_cast<int>(StackComponent::kBlockServer)] + flash_read_us;
+}
+
+double RetryPenaltyUs(const RetryPolicy& policy, int failed_attempts) {
+  const int failed = std::min(std::max(failed_attempts, 0), policy.max_attempts);
+  double penalty = 0.0;
+  double backoff = policy.backoff_base_us;
+  for (int attempt = 0; attempt < failed; ++attempt) {
+    penalty += policy.attempt_timeout_us;
+    if (attempt + 1 < failed) {  // no backoff after the final (failed) try
+      penalty += backoff;
+      backoff *= policy.backoff_multiplier;
+    }
+  }
+  return penalty;
+}
+
+void ApplyChunkServerSlowdown(LatencyBreakdown* breakdown, double multiplier) {
+  breakdown->component_us[static_cast<int>(StackComponent::kChunkServer)] *= multiplier;
+}
+
+void ApplyNetworkHiccup(LatencyBreakdown* breakdown, double extra_us_per_leg) {
+  breakdown->component_us[static_cast<int>(StackComponent::kFrontendNetwork)] += extra_us_per_leg;
+  breakdown->component_us[static_cast<int>(StackComponent::kBackendNetwork)] += extra_us_per_leg;
 }
 
 LatencyModel::LatencyModel(LatencyModelConfig config) : config_(config) {}

@@ -41,6 +41,27 @@ struct LatencyBreakdown {
   double TotalWithBsCacheHit(double flash_read_us) const;
 };
 
+// Retry/timeout accounting for IOs that hit a failed or slow component
+// (src/fault). An IO gets `max_attempts` tries; each failed attempt burns its
+// timeout plus an exponential backoff before the next try. Exhausting every
+// attempt marks the IO timed out.
+struct RetryPolicy {
+  int max_attempts = 4;              // 1 initial try + 3 retries
+  double attempt_timeout_us = 8000.0;   // how long a try waits on a dead target
+  double backoff_base_us = 500.0;       // backoff before retry k: base * mult^(k-1)
+  double backoff_multiplier = 2.0;
+};
+
+// Total latency cost of `failed_attempts` failed tries under `policy`:
+// sum of the per-attempt timeout plus the exponential backoff run-up.
+// failed_attempts is clamped to policy.max_attempts.
+double RetryPenaltyUs(const RetryPolicy& policy, int failed_attempts);
+
+// Degradation helpers used by the fault driver; both mutate the breakdown in
+// place and are no-ops at the identity arguments (multiplier 1, 0 extra us).
+void ApplyChunkServerSlowdown(LatencyBreakdown* breakdown, double multiplier);
+void ApplyNetworkHiccup(LatencyBreakdown* breakdown, double extra_us_per_leg);
+
 struct LatencyModelConfig {
   // Median component latencies in microseconds, reads.
   std::array<double, kStackComponentCount> read_base_us = {12.0, 28.0, 20.0, 24.0, 85.0};

@@ -42,6 +42,12 @@ struct TraceRecord {
   StorageNodeId sn;
 
   LatencyBreakdown latency;
+
+  // Fault-injection outcome (zero / false on a healthy run; in-memory only —
+  // never exported, so CSV fingerprints are schedule-independent when empty).
+  uint8_t fault_retries = 0;   // failed attempts this IO paid for
+  bool fault_timed_out = false;   // exhausted every attempt; latency is the budget
+  bool fault_failed_over = false; // re-homed to a different BlockServer
 };
 
 struct TraceDataset {

@@ -1,7 +1,9 @@
 #include "src/workload/generator.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "src/fault/driver.h"
 #include "src/trace/records.h"
 #include "src/workload/vd_stream.h"
 
@@ -35,6 +37,13 @@ WorkloadResult WorkloadGenerator::Generate() const {
   const LatencyModel latency_model(config_.latency);
   Rng root(config_.seed);
 
+  // Armed only when the schedule has events — the empty-schedule contract is
+  // that this function's output is bit-identical to the pre-fault code path.
+  std::optional<FaultDriver> faults;
+  if (!config_.faults.empty()) {
+    faults.emplace(fleet_, config_.faults, steps, dt);
+  }
+
   const SegmentSeriesResolver segment_resolver = [&result](SegmentId id) {
     return &result.metrics.MutableSegmentSeries(id);
   };
@@ -48,6 +57,9 @@ WorkloadResult WorkloadGenerator::Generate() const {
                        &result.metrics.qp_series, &result.offered_vd, &result.vd_truth);
     for (const auto& stream : streams.streams) {
       for (size_t t = 0; t < steps; ++t) {
+        if (faults) {
+          faults->CheckUnrecoverable(t);
+        }
         stream->Step(t, &result.traces.records);
       }
     }
@@ -56,6 +68,23 @@ WorkloadResult WorkloadGenerator::Generate() const {
   // Traces in timestamp order, as DiTing would emit them.
   std::sort(result.traces.records.begin(), result.traces.records.end(),
             [](const TraceRecord& a, const TraceRecord& b) { return a.timestamp < b.timestamp; });
+
+  // Fault effects are a pure per-record transform, so applying them after the
+  // sort matches the streaming engine's per-shard application bit for bit.
+  if (faults) {
+    if (faults->DegradedStepCount() == 0) {
+      // Armed but idle: no step is degraded, so the transform is provably the
+      // identity — account the IOs without a pass over the dataset (the
+      // armed-idle overhead budget in bench_fault rides on this).
+      result.faults.issued = result.traces.records.size();
+      result.faults.completed = result.faults.issued;
+    } else {
+      for (TraceRecord& record : result.traces.records) {
+        faults->Apply(&record, &result.faults);
+      }
+    }
+    result.faults.degraded_steps = faults->DegradedStepCount();
+  }
   return result;
 }
 

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/fault/schedule.h"
 #include "src/topology/fleet.h"
 #include "src/topology/latency.h"
 #include "src/trace/records.h"
@@ -50,6 +51,12 @@ struct WorkloadConfig {
   bool episodic_reads = true;    // false: reads use the steady write process
   bool qp_concentration = true;  // false: uniform VD->QP split
   double hot_prob_scale = 1.0;   // 0 disables the LBA hot block
+
+  // Optional fault timeline. Empty (the default) is the identity contract:
+  // output is bit-for-bit the pre-fault-subsystem output. With events, the
+  // sampled traces gain retry/timeout/failover effects; the full-scale metric
+  // series stay untouched (faults reshape per-IO paths, not offered volume).
+  FaultSchedule faults;
 };
 
 // Per-VD ground truth retained for tests and the cache analyses.
@@ -69,6 +76,7 @@ struct WorkloadResult {
   TraceDataset traces;                // sampled per-IO records
   std::vector<RwSeries> offered_vd;   // per-VD offered (pre-throttle) load
   std::vector<VdGroundTruth> vd_truth;
+  FaultStats faults;                  // all-zero when the schedule is empty
 
   double TotalDeliveredBytes(OpType op) const;
 };

@@ -1,0 +1,580 @@
+// Chaos suite for the deterministic fault-injection subsystem.
+//
+// Load-bearing invariants: (1) empty schedule == byte-identical output to a
+// fault-free run (the identity contract); (2) under ANY schedule the batch
+// generator and the streaming engine at 1/2/4 workers produce bit-identical
+// traces, metrics, and fault tallies; (3) the kUnrecoverable abort drains the
+// engine without deadlock and accounts dropped batches; (4) online sinks and
+// the balancer degrade deterministically, never with NaN or UB.
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cache/hotspot.h"
+#include "src/cache/online_hotspot.h"
+#include "src/core/simulation.h"
+#include "src/core/streaming.h"
+#include "src/balancer/balancer.h"
+#include "src/fault/driver.h"
+#include "src/fault/schedule.h"
+#include "src/hypervisor/online_balance.h"
+#include "src/hypervisor/wt_balance.h"
+#include "src/ml/arima.h"
+#include "src/ml/gbt.h"
+#include "src/ml/predictor.h"
+#include "src/obs/metrics.h"
+#include "src/replay/engine.h"
+#include "src/replay/sinks.h"
+#include "src/throttle/online_lending.h"
+#include "src/throttle/throttle.h"
+
+namespace ebs {
+namespace {
+
+SimulationConfig SmallConfig() {
+  SimulationConfig config = DcPreset(1);
+  config.fleet.user_count = 24;
+  config.workload.window_steps = 60;
+  return config;
+}
+
+// FNV-1a over every field of every record, latency bits included: two equal
+// fingerprints mean byte-identical trace streams (same multiset AND order).
+uint64_t Fingerprint(const std::vector<TraceRecord>& records) {
+  uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](const void* data, size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      h = (h ^ bytes[i]) * 1099511628211ULL;
+    }
+  };
+  for (const TraceRecord& r : records) {
+    mix(&r.timestamp, sizeof(r.timestamp));
+    const uint32_t ids[] = {static_cast<uint32_t>(r.op), r.size_bytes,     r.user.value(),
+                            r.vm.value(),                r.vd.value(),     r.qp.value(),
+                            r.wt.value(),                r.cn.value(),     r.segment.value(),
+                            r.bs.value(),                r.sn.value(),     r.fault_retries,
+                            r.fault_timed_out ? 1u : 0u, r.fault_failed_over ? 1u : 0u};
+    mix(ids, sizeof(ids));
+    mix(&r.offset, sizeof(r.offset));
+    mix(r.latency.component_us.data(), r.latency.component_us.size() * sizeof(double));
+  }
+  return h;
+}
+
+// The batch dataset is sorted by timestamp only while the merged stream uses
+// (timestamp, vd, sequence); canonicalize before fingerprinting batch output.
+uint64_t CanonicalFingerprint(std::vector<TraceRecord> records) {
+  std::stable_sort(records.begin(), records.end(), [](const TraceRecord& a, const TraceRecord& b) {
+    return std::make_tuple(a.timestamp, a.vd.value(), a.offset) <
+           std::make_tuple(b.timestamp, b.vd.value(), b.offset);
+  });
+  return Fingerprint(records);
+}
+
+void ExpectFaultStatsEqual(const FaultStats& a, const FaultStats& b, const char* what) {
+  EXPECT_EQ(a.issued, b.issued) << what;
+  EXPECT_EQ(a.completed, b.completed) << what;
+  EXPECT_EQ(a.timed_out, b.timed_out) << what;
+  EXPECT_EQ(a.retries, b.retries) << what;
+  EXPECT_EQ(a.failovers, b.failovers) << what;
+  EXPECT_EQ(a.slowed, b.slowed) << what;
+  EXPECT_EQ(a.hiccuped, b.hiccuped) << what;
+  EXPECT_EQ(a.degraded_steps, b.degraded_steps) << what;
+}
+
+// --- Schedule validation ------------------------------------------------------
+
+TEST(FaultScheduleTest, ValidationRejectsMalformedEvents) {
+  SimulationConfig config = SmallConfig();
+  config.fleet.user_count = 4;
+  const Fleet fleet = BuildFleet(config.fleet);
+  const size_t window = 30;
+
+  const auto reject = [&](FaultEvent event) {
+    FaultSchedule schedule;
+    schedule.events.push_back(event);
+    EXPECT_THROW(ValidateSchedule(schedule, fleet, window), std::invalid_argument);
+    EXPECT_THROW(FaultDriver(fleet, schedule, window, 1.0), std::invalid_argument);
+  };
+
+  FaultEvent event;
+  event.type = FaultType::kBlockServerCrash;
+  event.target = static_cast<uint32_t>(fleet.block_servers.size());  // out of range
+  event.start_step = 0;
+  event.end_step = 10;
+  reject(event);
+
+  event.target = 0;
+  event.start_step = 10;
+  event.end_step = 5;  // start > end
+  reject(event);
+
+  event.start_step = 0;
+  event.end_step = window + 1;  // past the window
+  reject(event);
+
+  event.end_step = 10;
+  event.severity = 0.5;  // < 1
+  reject(event);
+
+  event.severity = 1.0;
+  event.type = FaultType::kSegmentUnavailable;
+  event.target = static_cast<uint32_t>(fleet.segments.size());
+  reject(event);
+
+  FaultSchedule bad_retry;
+  bad_retry.events.push_back(FaultEvent{});
+  bad_retry.retry.max_attempts = 0;
+  EXPECT_THROW(ValidateSchedule(bad_retry, fleet, window), std::invalid_argument);
+
+  // A well-formed schedule passes.
+  EXPECT_NO_THROW(ValidateSchedule(CrashHeavySchedule(fleet, window, 7), fleet, window));
+}
+
+// --- Per-IO fault mechanics ---------------------------------------------------
+
+class FaultMechanicsTest : public ::testing::Test {
+ protected:
+  FaultMechanicsTest() {
+    SimulationConfig config = SmallConfig();
+    config.fleet.user_count = 6;
+    fleet_ = BuildFleet(config.fleet);
+  }
+
+  // A synthetic record on `segment` at step `t` with unit latency everywhere.
+  TraceRecord RecordOn(SegmentId segment, double t) const {
+    const Segment& seg = fleet_.segments[segment.value()];
+    TraceRecord r;
+    r.timestamp = t;
+    r.size_bytes = 4096;
+    r.vd = seg.vd;
+    r.segment = segment;
+    r.bs = seg.server;
+    r.sn = fleet_.block_servers[seg.server.value()].node;
+    r.latency.component_us.fill(100.0);
+    return r;
+  }
+
+  Fleet fleet_;
+};
+
+TEST_F(FaultMechanicsTest, CrashTriggersFailoverToHealthyCandidate) {
+  const SegmentId segment(0);
+  const BlockServerId primary = fleet_.segments[0].server;
+  FaultSchedule schedule;
+  schedule.events.push_back(
+      {FaultType::kBlockServerCrash, primary.value(), /*start=*/5, /*end=*/10});
+  const FaultDriver driver(fleet_, schedule, 30, 1.0);
+  ASSERT_TRUE(driver.armed());
+  EXPECT_TRUE(driver.BlockServerDown(5, primary));
+  EXPECT_FALSE(driver.BlockServerDown(10, primary));  // restart at end_step
+  EXPECT_EQ(driver.DegradedStepCount(), 5u);
+
+  TraceRecord record = RecordOn(segment, 5.5);
+  const double base_latency = record.latency.Total();
+  FaultStats stats;
+  driver.Apply(&record, &stats);
+
+  EXPECT_TRUE(record.fault_failed_over);
+  EXPECT_FALSE(record.fault_timed_out);
+  EXPECT_EQ(record.fault_retries, 1);  // the primary attempt failed
+  EXPECT_NE(record.bs.value(), primary.value());
+  // The failover target must be the first candidate of the static ring, and
+  // the SN must be remapped consistently with the new BS.
+  EXPECT_EQ(record.bs.value(), FailoverCandidates(fleet_, segment).front().value());
+  EXPECT_EQ(record.sn.value(), fleet_.block_servers[record.bs.value()].node.value());
+  EXPECT_GT(record.latency.Total(), base_latency);  // retry penalty landed
+
+  EXPECT_EQ(stats.issued, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failovers, 1u);
+  EXPECT_EQ(stats.retries, 1u);
+
+  // Outside the crash window the same IO is untouched.
+  TraceRecord healthy = RecordOn(segment, 12.5);
+  driver.Apply(&healthy, &stats);
+  EXPECT_FALSE(healthy.fault_failed_over);
+  EXPECT_EQ(healthy.bs.value(), primary.value());
+  EXPECT_EQ(healthy.latency.Total(), base_latency);
+}
+
+TEST_F(FaultMechanicsTest, SegmentUnavailabilityTimesOutWithFullRetryBudget) {
+  const SegmentId segment(0);
+  FaultSchedule schedule;
+  schedule.events.push_back({FaultType::kSegmentUnavailable, segment.value(), 0, 10});
+  const FaultDriver driver(fleet_, schedule, 30, 1.0);
+
+  TraceRecord record = RecordOn(segment, 3.0);
+  const double base_latency = record.latency.Total();
+  FaultStats stats;
+  driver.Apply(&record, &stats);
+
+  EXPECT_TRUE(record.fault_timed_out);
+  EXPECT_FALSE(record.fault_failed_over);
+  EXPECT_EQ(record.fault_retries, driver.retry_policy().max_attempts);
+  EXPECT_EQ(record.latency.Total(),
+            base_latency + RetryPenaltyUs(driver.retry_policy(),
+                                          driver.retry_policy().max_attempts));
+  EXPECT_EQ(stats.timed_out, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.issued, stats.completed + stats.timed_out);
+}
+
+TEST_F(FaultMechanicsTest, SlowdownAndHiccupStretchLatencyComponents) {
+  const SegmentId segment(0);
+  const TraceRecord base = RecordOn(segment, 2.5);
+  FaultSchedule schedule;
+  schedule.events.push_back(
+      {FaultType::kChunkServerSlowdown, base.sn.value(), 0, 10, /*severity=*/3.0});
+  schedule.events.push_back({FaultType::kNetworkHiccup, kAllClusters, 0, 10, /*severity=*/2.0});
+  const FaultDriver driver(fleet_, schedule, 30, 1.0);
+  EXPECT_EQ(driver.ChunkServerSlowdown(2, base.sn), 3.0);
+  EXPECT_GT(driver.NetworkHiccupUs(2, fleet_.block_servers[base.bs.value()].cluster), 0.0);
+
+  TraceRecord record = base;
+  FaultStats stats;
+  driver.Apply(&record, &stats);
+
+  const int cs = static_cast<int>(StackComponent::kChunkServer);
+  const int fe = static_cast<int>(StackComponent::kFrontendNetwork);
+  const int be = static_cast<int>(StackComponent::kBackendNetwork);
+  EXPECT_EQ(record.latency.component_us[cs], base.latency.component_us[cs] * 3.0);
+  EXPECT_GT(record.latency.component_us[fe], base.latency.component_us[fe]);
+  EXPECT_EQ(record.latency.component_us[fe] - base.latency.component_us[fe],
+            record.latency.component_us[be] - base.latency.component_us[be]);
+  EXPECT_EQ(stats.slowed, 1u);
+  EXPECT_EQ(stats.hiccuped, 1u);
+  EXPECT_FALSE(record.fault_timed_out);
+}
+
+TEST_F(FaultMechanicsTest, RetryPenaltyIsMonotoneWithExponentialBackoff) {
+  RetryPolicy policy;
+  EXPECT_EQ(RetryPenaltyUs(policy, 0), 0.0);
+  double prev = 0.0;
+  for (int failed = 1; failed <= policy.max_attempts; ++failed) {
+    const double penalty = RetryPenaltyUs(policy, failed);
+    EXPECT_GT(penalty, prev);
+    prev = penalty;
+  }
+  // 2 failed attempts: two timeouts plus one backoff gap.
+  EXPECT_EQ(RetryPenaltyUs(policy, 2), 2 * policy.attempt_timeout_us + policy.backoff_base_us);
+  // 3 failed: three timeouts, backoff then backoff * multiplier.
+  EXPECT_EQ(RetryPenaltyUs(policy, 3),
+            3 * policy.attempt_timeout_us +
+                policy.backoff_base_us * (1.0 + policy.backoff_multiplier));
+}
+
+TEST_F(FaultMechanicsTest, FailoverCandidatesPreferSpreadPreservingServers) {
+  for (const Vd& vd : fleet_.vds) {
+    if (vd.segments.size() < 2) {
+      continue;
+    }
+    const SegmentId segment = vd.segments[0];
+    const BlockServerId primary = fleet_.segments[segment.value()].server;
+    const std::vector<BlockServerId> candidates = FailoverCandidates(fleet_, segment);
+    ASSERT_FALSE(candidates.empty());
+    // Primary never appears; sibling-hosting BSs come after every clean BS.
+    bool seen_sibling = false;
+    for (const BlockServerId bs : candidates) {
+      EXPECT_NE(bs.value(), primary.value());
+      bool hosts_sibling = false;
+      for (size_t i = 1; i < vd.segments.size(); ++i) {
+        hosts_sibling |= fleet_.segments[vd.segments[i].value()].server.value() == bs.value();
+      }
+      EXPECT_FALSE(seen_sibling && !hosts_sibling)
+          << "spread-preserving candidate ranked after a sibling-hosting one";
+      seen_sibling |= hosts_sibling;
+    }
+    return;  // one multi-segment VD is enough
+  }
+  GTEST_SKIP() << "fleet has no multi-segment VD";
+}
+
+// --- Identity contract: empty and armed-but-idle schedules --------------------
+
+TEST(FaultChaosTest, EmptyAndArmedIdleSchedulesMatchGoldenOutput) {
+  const SimulationConfig golden_config = SmallConfig();
+  const EbsSimulation golden(golden_config);  // no fault subsystem in the loop
+  const uint64_t golden_print = CanonicalFingerprint(golden.traces().records);
+
+  // Armed but idle: events exist but every window is empty (start == end).
+  SimulationConfig idle_config = SmallConfig();
+  FaultEvent idle;
+  idle.type = FaultType::kBlockServerCrash;
+  idle.target = 0;
+  idle.start_step = 10;
+  idle.end_step = 10;
+  idle_config.workload.faults.events.push_back(idle);
+  const EbsSimulation idle_sim(idle_config);
+  EXPECT_EQ(CanonicalFingerprint(idle_sim.traces().records), golden_print);
+  EXPECT_EQ(idle_sim.fault_stats().issued, idle_sim.traces().records.size());
+  EXPECT_EQ(idle_sim.fault_stats().completed, idle_sim.fault_stats().issued);
+  EXPECT_EQ(idle_sim.fault_stats().timed_out, 0u);
+  EXPECT_EQ(idle_sim.fault_stats().degraded_steps, 0u);
+
+  // Streaming with the empty schedule, at several worker counts.
+  for (const size_t workers : {1u, 2u, 4u}) {
+    StreamingSimulation stream(golden_config, {.worker_threads = workers});
+    stream.Run();
+    EXPECT_EQ(CanonicalFingerprint(stream.traces().records), golden_print)
+        << workers << " workers";
+    EXPECT_EQ(stream.fault_driver(), nullptr);
+    ExpectFaultStatsEqual(stream.fault_stats(), FaultStats{}, "empty schedule stats");
+  }
+}
+
+// --- Chaos determinism: batch == streaming at any worker count ----------------
+
+TEST(FaultChaosTest, CrashHeavyScheduleIsBitIdenticalAcrossEnginesAndWorkers) {
+  SimulationConfig config = SmallConfig();
+  const Fleet fleet = BuildFleet(config.fleet);
+  config.workload.faults =
+      CrashHeavySchedule(fleet, config.workload.window_steps, /*seed=*/2024);
+
+  const EbsSimulation batch(config);
+  const uint64_t batch_print = CanonicalFingerprint(batch.traces().records);
+
+  // The schedule must actually bite.
+  const FaultStats& stats = batch.fault_stats();
+  EXPECT_GT(stats.issued, 0u);
+  EXPECT_GT(stats.retries + stats.slowed + stats.hiccuped, 0u);
+  EXPECT_GT(stats.degraded_steps, 0u);
+  EXPECT_EQ(stats.issued, stats.completed + stats.timed_out);
+
+  for (const size_t workers : {1u, 2u, 4u}) {
+    StreamingSimulation stream(config, {.worker_threads = workers, .queue_capacity = 3});
+    stream.Run();
+    EXPECT_EQ(CanonicalFingerprint(stream.traces().records), batch_print)
+        << workers << " workers";
+    ExpectFaultStatsEqual(stream.fault_stats(), stats,
+                          ("worker count " + std::to_string(workers)).c_str());
+    ASSERT_NE(stream.fault_driver(), nullptr);
+    EXPECT_EQ(stream.fault_driver()->DegradedStepCount(), stats.degraded_steps);
+  }
+}
+
+TEST(FaultChaosTest, FaultsNeverAlterFullScaleMetricsOrOfferedLoad) {
+  // Faults reshape sampled IO paths and latency, never delivered volume: the
+  // metric dataset and per-VD byte totals must be bit-identical to a healthy
+  // run of the same seed (per-VD byte conservation across failover).
+  SimulationConfig config = SmallConfig();
+  const EbsSimulation healthy(config);
+
+  SimulationConfig faulty_config = config;
+  const Fleet fleet = BuildFleet(config.fleet);
+  faulty_config.workload.faults =
+      CrashHeavySchedule(fleet, config.workload.window_steps, /*seed=*/11);
+  const EbsSimulation faulty(faulty_config);
+
+  ASSERT_EQ(healthy.metrics().qp_series.size(), faulty.metrics().qp_series.size());
+  for (size_t q = 0; q < healthy.metrics().qp_series.size(); ++q) {
+    EXPECT_EQ(healthy.metrics().qp_series[q].TotalBytes(),
+              faulty.metrics().qp_series[q].TotalBytes())
+        << "qp " << q;
+  }
+
+  // Same sampled IO population: identical (timestamp, vd, offset, size, op)
+  // multiset, so per-VD sampled bytes are conserved no matter where the IOs
+  // were re-homed.
+  ASSERT_EQ(healthy.traces().records.size(), faulty.traces().records.size());
+  std::vector<double> healthy_vd_bytes(healthy.fleet().vds.size(), 0.0);
+  std::vector<double> faulty_vd_bytes(healthy.fleet().vds.size(), 0.0);
+  for (const TraceRecord& r : healthy.traces().records) {
+    healthy_vd_bytes[r.vd.value()] += r.size_bytes;
+  }
+  for (const TraceRecord& r : faulty.traces().records) {
+    faulty_vd_bytes[r.vd.value()] += r.size_bytes;
+  }
+  EXPECT_EQ(healthy_vd_bytes, faulty_vd_bytes);
+
+  // And the fault effects really moved IOs across BlockServers.
+  EXPECT_GT(faulty.fault_stats().failovers, 0u);
+}
+
+// --- Abort path ---------------------------------------------------------------
+
+TEST(FaultChaosTest, UnrecoverableFaultAbortsBothEnginesAtTheSameStep) {
+  SimulationConfig config = SmallConfig();
+  FaultEvent fatal;
+  fatal.type = FaultType::kUnrecoverable;
+  fatal.start_step = 13;
+  fatal.end_step = 13;
+  config.workload.faults.events.push_back(fatal);
+
+  try {
+    const EbsSimulation batch(config);
+    FAIL() << "batch generation did not abort";
+  } catch (const UnrecoverableFaultError& error) {
+    EXPECT_EQ(error.step(), 13u);
+  }
+
+  // The engine's abort path must join every worker and drain every queue —
+  // under TSan/ASan this is the mid-run abort regression test; a deadlock
+  // shows up as a test timeout.
+  for (const size_t workers : {1u, 2u, 4u}) {
+    obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+    registry.set_enabled(true);
+    registry.Reset();
+    StreamingSimulation stream(config, {.worker_threads = workers, .queue_capacity = 2});
+    try {
+      stream.Run();
+      FAIL() << "streaming did not abort (" << workers << " workers)";
+    } catch (const UnrecoverableFaultError& error) {
+      EXPECT_EQ(error.step(), 13u) << workers << " workers";
+    }
+    // Generated-but-unmerged batches are accounted, not silently destroyed.
+    // (How many batches sit in the queues at abort time is timing-dependent,
+    // so the drained count itself is not asserted; the invariants are that
+    // the drain ran — the counter is registered — and the abort joined every
+    // worker without deadlock or UB at every worker count.)
+    bool counter_registered = false;
+    const obs::RunReport report = registry.Snapshot();
+    for (const obs::MetricSnapshot& metric : report.metrics) {
+      if (metric.name == "replay.batches_dropped" && metric.kind == "counter") {
+        counter_registered = true;
+      }
+    }
+    EXPECT_TRUE(counter_registered);
+    registry.set_enabled(false);
+  }
+}
+
+// --- Degraded-mode sinks ------------------------------------------------------
+
+TEST(FaultDegradedSinksTest, OnlineSinksStayEquivalentAndCountDegradedSteps) {
+  SimulationConfig config = SmallConfig();
+  const Fleet fleet = BuildFleet(config.fleet);
+  config.workload.faults =
+      CrashHeavySchedule(fleet, config.workload.window_steps, /*seed=*/5);
+
+  const EbsSimulation batch(config);
+  ThrottleConfig throttle_config;
+  throttle_config.cap_scale = 0.25;
+  const std::vector<double> batch_gains = SimulateLending(
+      batch.fleet(), batch.workload().offered_vd, MultiVdVmGroups(batch.fleet()),
+      throttle_config);
+  const std::vector<double> batch_cov =
+      WtCovSamples(batch.fleet(), batch.metrics(), OpType::kWrite, 30);
+
+  StreamingSimulation stream(config, {.worker_threads = 4});
+  OnlineLendingSink lending(MultiVdVmGroups(stream.fleet()), throttle_config);
+  OnlineWtCovSink balance(OpType::kWrite, 30);
+  OnlineCacheSink caches(CachePolicy::kLru, 16 * kMiB);
+  lending.set_fault_driver(stream.fault_driver());
+  balance.set_fault_driver(stream.fault_driver());
+  stream.AddSink(&lending);
+  stream.AddSink(&balance);
+  stream.AddSink(&caches);
+  stream.Run();
+
+  // Lending and WT-CoV run unchanged through degraded periods (their inputs
+  // are fault-immune full-scale metrics) but must notice the degradation.
+  ASSERT_EQ(lending.gains().size(), batch_gains.size());
+  for (size_t i = 0; i < batch_gains.size(); ++i) {
+    EXPECT_EQ(lending.gains()[i], batch_gains[i]) << i;
+  }
+  ASSERT_EQ(balance.samples().size(), batch_cov.size());
+  for (size_t i = 0; i < batch_cov.size(); ++i) {
+    EXPECT_EQ(balance.samples()[i], batch_cov[i]) << i;
+    EXPECT_TRUE(std::isfinite(balance.samples()[i])) << i;
+  }
+  EXPECT_EQ(lending.degraded_steps_seen(), stream.fault_stats().degraded_steps);
+  EXPECT_EQ(balance.degraded_steps_seen(), stream.fault_stats().degraded_steps);
+
+  // Cache: timed-out IOs bypass the online cache; the offline replay applies
+  // the same skip, so online == offline even under heavy faults.
+  const VdTraceIndex index(batch.fleet(), batch.traces());
+  for (const VdId vd : index.ActiveVds(1)) {
+    const CacheReplayResult offline =
+        ReplayVdCache(index.ForVd(vd), /*capacity_bytes=*/0, 16 * kMiB, CachePolicy::kLru);
+    const CacheReplayResult online = caches.ResultFor(vd);
+    EXPECT_EQ(online.page_accesses, offline.page_accesses) << vd.value();
+    EXPECT_EQ(online.hit_ratio, offline.hit_ratio) << vd.value();
+  }
+  if (stream.fault_stats().timed_out > 0) {
+    EXPECT_GT(caches.fault_bypassed_events(), 0u);
+  }
+}
+
+// --- Balancer under failures --------------------------------------------------
+
+TEST(FaultBalancerTest, ForcedMigrationsEvacuateCrashedServers) {
+  SimulationConfig config = SmallConfig();
+  const EbsSimulation sim(config);
+  const Fleet& fleet = sim.fleet();
+
+  // Crash one BS of cluster 0 for the whole window.
+  const StorageCluster& cluster = fleet.storage_clusters[0];
+  const BlockServerId victim =
+      fleet.storage_nodes[cluster.nodes[0].value()].block_server;
+  FaultSchedule schedule;
+  schedule.events.push_back({FaultType::kBlockServerCrash, victim.value(), 0,
+                             config.workload.window_steps});
+  const FaultDriver driver(fleet, schedule, config.workload.window_steps, 1.0);
+
+  BalancerConfig balancer_config;
+  balancer_config.period_steps = 15;
+  balancer_config.faults = &driver;
+  InterBsBalancer balancer(fleet, sim.metrics(), StorageClusterId(0), balancer_config);
+  const BalancerResult result = balancer.Run();
+
+  EXPECT_GT(result.forced_migrations, 0u);
+  size_t forced_seen = 0;
+  for (const Migration& migration : result.migrations) {
+    const size_t step = migration.period * balancer_config.period_steps;
+    // No migration — forced or load-driven — may target a down BS.
+    EXPECT_FALSE(driver.BlockServerDown(step, migration.to))
+        << "migrated onto a dead BS at period " << migration.period;
+    if (migration.forced) {
+      ++forced_seen;
+      EXPECT_EQ(migration.from.value(), victim.value());
+    }
+  }
+  EXPECT_EQ(forced_seen, result.forced_migrations);
+  // Every segment of the victim was evacuated in the first period.
+  EXPECT_GE(result.forced_migrations, fleet.block_servers[victim.value()].segments.size());
+
+  // Identical run without faults: no forced migrations, result unchanged
+  // versus a default-config run (fault hook is inert when unset).
+  BalancerConfig plain_config;
+  plain_config.period_steps = 15;
+  InterBsBalancer plain(fleet, sim.metrics(), StorageClusterId(0), plain_config);
+  const BalancerResult plain_result = plain.Run();
+  EXPECT_EQ(plain_result.forced_migrations, 0u);
+  for (const Migration& migration : plain_result.migrations) {
+    EXPECT_FALSE(migration.forced);
+  }
+}
+
+// --- Predictor cold start -----------------------------------------------------
+
+TEST(FaultColdStartTest, PredictorsReturnFiniteFallbacksBeforeWarmup) {
+  const auto check = [](std::unique_ptr<SeriesPredictor> predictor, const char* what) {
+    // Never observed: must not emit NaN.
+    EXPECT_TRUE(std::isfinite(predictor->PredictNext())) << what << " cold";
+    // Degenerate histories: constant zero, then a single spike.
+    predictor->Observe(0.0);
+    EXPECT_TRUE(std::isfinite(predictor->PredictNext())) << what << " one obs";
+    for (int i = 0; i < 3; ++i) {
+      predictor->Observe(0.0);
+      EXPECT_TRUE(std::isfinite(predictor->PredictNext())) << what << " constant";
+    }
+    predictor->Observe(1e12);
+    const double prediction = predictor->PredictNext();
+    EXPECT_TRUE(std::isfinite(prediction)) << what << " spike";
+    EXPECT_GE(prediction, 0.0) << what << " spike";
+  };
+  check(MakeLastValuePredictor(), "last-value");
+  check(MakeLinearFitPredictor(), "linear-fit");
+  check(MakeArimaPredictor(), "arima");
+  check(MakeGbtPredictor(), "gbt");
+}
+
+}  // namespace
+}  // namespace ebs

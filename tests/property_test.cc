@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "src/cache/policy.h"
+#include "src/fault/schedule.h"
 #include "src/util/distributions.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
@@ -191,6 +192,65 @@ TEST_P(WorkloadPropertyTest, GeneratorInvariantsHoldForAnySeed) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadPropertyTest, ::testing::Range<uint64_t>(1, 9));
+
+// --- Fault invariants over random schedules ------------------------------------
+
+class FaultPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FaultPropertyTest, EffectsAreMonotoneInFailureDensityAndConserveBytes) {
+  // RandomSchedule(fleet, window, seed, k) schedules nest: the first k events
+  // of a larger schedule equal the k-event schedule. A larger event set can
+  // only enlarge the per-step down-sets and severities, so fault effects must
+  // be monotone in the event count — and no schedule may ever change WHICH
+  // IOs are sampled, only how they complete.
+  FleetConfig fleet_config;
+  fleet_config.seed = GetParam();
+  fleet_config.user_count = 12;
+  const Fleet fleet = BuildFleet(fleet_config);
+  WorkloadConfig base_config;
+  base_config.seed = GetParam() * 3 + 1;
+  base_config.window_steps = 60;
+  const uint64_t schedule_seed = GetParam() * 7 + 3;
+
+  std::vector<double> baseline_vd_bytes;
+  FaultStats prev;
+  for (const size_t event_count : {0u, 2u, 4u, 8u, 12u}) {
+    WorkloadConfig config = base_config;
+    config.faults =
+        RandomSchedule(fleet, config.window_steps, schedule_seed, event_count);
+    ASSERT_EQ(config.faults.events.size(), event_count);
+    const WorkloadResult result = WorkloadGenerator(fleet, config).Generate();
+    const FaultStats& stats = result.faults;
+
+    // Accounting identity: every sampled IO either completed or timed out.
+    if (event_count == 0) {
+      EXPECT_EQ(stats.issued, 0u);  // empty schedule: fault layer skipped
+    } else {
+      EXPECT_EQ(stats.issued, result.traces.records.size());
+    }
+    EXPECT_EQ(stats.issued, stats.completed + stats.timed_out);
+
+    // Monotone in failure density (nested schedules).
+    EXPECT_GE(stats.retries, prev.retries) << event_count << " events";
+    EXPECT_GE(stats.timed_out, prev.timed_out) << event_count << " events";
+    EXPECT_GE(stats.degraded_steps, prev.degraded_steps) << event_count << " events";
+    prev = stats;
+
+    // Per-VD byte conservation: failover re-homes IOs but never invents or
+    // drops traffic — the sampled per-VD byte totals match the healthy run.
+    std::vector<double> vd_bytes(fleet.vds.size(), 0.0);
+    for (const TraceRecord& r : result.traces.records) {
+      vd_bytes[r.vd.value()] += r.size_bytes;
+    }
+    if (baseline_vd_bytes.empty()) {
+      baseline_vd_bytes = std::move(vd_bytes);
+    } else {
+      EXPECT_EQ(vd_bytes, baseline_vd_bytes) << event_count << " events";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultPropertyTest, ::testing::Range<uint64_t>(1, 7));
 
 // --- Alias-method categorical over random weight vectors ----------------------
 
