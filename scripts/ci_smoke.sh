@@ -7,6 +7,12 @@
 # crash-heavy and mid-run-abort schedules exercise the engine's queue drain
 # and worker join paths where a race would hide.
 #
+# The ASan and UBSan stages also run the trace-store corruption battery
+# (tests/trace_store_test.cc): its truncation and byte-flip sweeps mutate
+# every byte of a valid store file, so a decoder path that reads out of
+# bounds or shifts past the type width on corrupt input fails here rather
+# than silently passing on well-formed files.
+#
 # Usage: scripts/ci_smoke.sh [build-root]   (default: ./ci-build)
 
 set -euo pipefail
@@ -25,25 +31,30 @@ ctest --test-dir "${build_root}/release" --output-on-failure -j "${jobs}"
 echo "== [3/8] Configure + build: AddressSanitizer =="
 cmake -S "${repo_root}" -B "${build_root}/asan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEBS_SANITIZE=address >/dev/null
-cmake --build "${build_root}/asan" -j "${jobs}" --target replay_test fault_test
+cmake --build "${build_root}/asan" -j "${jobs}" \
+  --target replay_test fault_test trace_store_test store_replay_test
 
-echo "== [4/8] Replay determinism + fault chaos tests (ASan) =="
+echo "== [4/8] Replay determinism + fault chaos + store corruption tests (ASan) =="
 "${build_root}/asan/tests/replay_test"
 "${build_root}/asan/tests/fault_test"
+"${build_root}/asan/tests/trace_store_test"
+"${build_root}/asan/tests/store_replay_test"
 
 echo "== [5/8] Configure + build: UndefinedBehaviorSanitizer =="
 cmake -S "${repo_root}" -B "${build_root}/ubsan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEBS_SANITIZE=undefined >/dev/null
 cmake --build "${build_root}/ubsan" -j "${jobs}" \
-  --target util_container_test util_stats_test trace_test csv_export_test obs_test
+  --target util_container_test util_stats_test trace_test csv_export_test obs_test \
+           trace_store_test
 
-echo "== [6/8] Numeric + export + obs + fault tests (UBSan) =="
+echo "== [6/8] Numeric + export + obs + fault + store corruption tests (UBSan) =="
 UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/util_container_test"
 UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/util_stats_test"
 UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/trace_test"
 UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/csv_export_test"
 UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/obs_test"
 UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/fault_test"
+UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/trace_store_test"
 
 echo "== [7/8] Configure + build: ThreadSanitizer =="
 cmake -S "${repo_root}" -B "${build_root}/tsan" \

@@ -1,10 +1,12 @@
 #include "src/core/streaming.h"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
 #include "src/obs/metrics.h"
+#include "src/replay/store_source.h"
 
 namespace ebs {
 
@@ -22,6 +24,16 @@ StreamingSimulation::StreamingSimulation(SimulationConfig config, ReplayOptions 
       fleet_(TimedBuildFleet(config.fleet)),
       collector_(config.workload.sampling_rate),
       engine_(fleet_, config.workload, options) {
+  engine_.AddSink(&collector_);
+  engine_.AddSink(&rollups_);
+}
+
+StreamingSimulation::StreamingSimulation(const std::string& store_path, SimulationConfig config,
+                                         ReplayOptions options)
+    : config_(config),
+      fleet_(TimedBuildFleet(config.fleet)),
+      collector_(config.workload.sampling_rate),
+      engine_(fleet_, std::make_unique<StoreReplaySource>(fleet_, store_path), options) {
   engine_.AddSink(&collector_);
   engine_.AddSink(&rollups_);
 }

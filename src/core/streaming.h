@@ -16,6 +16,7 @@
 #ifndef SRC_CORE_STREAMING_H_
 #define SRC_CORE_STREAMING_H_
 
+#include <string>
 #include <vector>
 
 #include "src/core/simulation.h"
@@ -27,6 +28,17 @@ namespace ebs {
 class StreamingSimulation {
  public:
   explicit StreamingSimulation(SimulationConfig config = DcPreset(1), ReplayOptions options = {});
+
+  // Replay-from-disk: the same pipeline driven by an EBST trace store
+  // (src/trace/store.h) written from a run of the same config. The fleet is
+  // still built from `config` (the store carries no topology); the store must
+  // have a metrics section and is cross-checked against the fleet — throws
+  // TraceStoreError (kNoMetrics/kMismatch/corruption) on a file that cannot
+  // drive this fleet. Sinks observe the exact event stream of the recorded
+  // run; fault_driver() is nullptr (recorded fault outcomes replay, the live
+  // driver does not).
+  StreamingSimulation(const std::string& store_path, SimulationConfig config,
+                      ReplayOptions options = {});
 
   // Self-referential (the engine and aggregator point at fleet_): pin it.
   StreamingSimulation(const StreamingSimulation&) = delete;

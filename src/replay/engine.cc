@@ -1,166 +1,91 @@
 #include "src/replay/engine.h"
 
-#include <algorithm>
-#include <exception>
-#include <future>
 #include <memory>
 #include <queue>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
 #include "src/obs/metrics.h"
 #include "src/replay/bounded_queue.h"
+#include "src/replay/generator_source.h"
 #include "src/replay/shard.h"
 
 namespace ebs {
 
 ReplayEngine::ReplayEngine(const Fleet& fleet, WorkloadConfig config, ReplayOptions options)
-    : fleet_(fleet), config_(std::move(config)), options_(options) {
-  if (!config_.faults.empty()) {
-    fault_driver_ = std::make_unique<FaultDriver>(fleet_, config_.faults, config_.window_steps,
-                                                  config_.step_seconds);
-  }
-}
+    : ReplayEngine(fleet,
+                   std::make_unique<GeneratorShardSource>(fleet, std::move(config),
+                                                          options.worker_threads),
+                   options) {}
+
+ReplayEngine::ReplayEngine(const Fleet& fleet, std::unique_ptr<ReplaySource> source,
+                           ReplayOptions options)
+    : fleet_(fleet), options_(options), source_(std::move(source)) {}
 
 void ReplayEngine::AddSink(ReplaySink* sink) { sinks_.push_back(sink); }
 
 WorkloadResult ReplayEngine::Run() {
   WorkloadResult result;
-  const size_t steps = config_.window_steps;
-  const double dt = config_.step_seconds;
-  result.metrics.step_seconds = dt;
-  result.metrics.window_steps = steps;
-  result.metrics.qp_series.assign(fleet_.qps.size(), RwSeries(steps, dt));
-  result.offered_vd.assign(fleet_.vds.size(), RwSeries(steps, dt));
-  result.vd_truth.assign(fleet_.vds.size(), VdGroundTruth{});
-  result.traces.window_seconds = static_cast<double>(steps) * dt;
-  result.traces.sampling_rate = config_.sampling_rate;
+  source_->PrepareResult(&result);
+  const size_t steps = source_->window_steps();
+  const double dt = source_->step_seconds();
 
-  const size_t shard_count =
-      std::max<size_t>(1, std::min(options_.worker_threads, std::max<size_t>(1, fleet_.vms.size())));
+  const size_t stream_count = source_->stream_count();
   stats_ = ReplayStats{};
-  stats_.shards = shard_count;
+  stats_.shards = stream_count;
 
-  // Round-robin VM assignment: a deterministic partition that spreads the
-  // heavy-tailed tenants across shards. Any partition yields the same output.
-  std::vector<std::vector<uint32_t>> assignment(shard_count);
-  for (const Vm& vm : fleet_.vms) {
-    assignment[vm.id.value() % shard_count].push_back(vm.id.value());
-  }
-
-  std::vector<std::unique_ptr<ReplayShard>> shards;
   std::vector<std::unique_ptr<BoundedQueue<ShardBatch>>> queues;
-  shards.reserve(shard_count);
-  queues.reserve(shard_count);
-  for (size_t s = 0; s < shard_count; ++s) {
-    shards.push_back(std::make_unique<ReplayShard>(fleet_, config_, static_cast<uint32_t>(s),
-                                                   std::move(assignment[s]), fault_driver_.get()));
+  std::vector<BoundedQueue<ShardBatch>*> queue_ptrs;
+  queues.reserve(stream_count);
+  queue_ptrs.reserve(stream_count);
+  for (size_t s = 0; s < stream_count; ++s) {
     queues.push_back(std::make_unique<BoundedQueue<ShardBatch>>(options_.queue_capacity));
+    queue_ptrs.push_back(queues.back().get());
   }
 
-  // Self-observability: per-shard generation/init timers, queue wait on both
-  // sides, sampled merge backlog, and batches dropped on abort. All of it is
-  // pure wall-clock observation — it cannot perturb the generated stream —
-  // and compiles down to a disabled-flag branch when no report is requested.
+  // Self-observability of the consumer side: queue wait, sampled merge
+  // backlog, batches dropped on abort. (Producer-side timers live in the
+  // source.) Pure wall-clock observation — it cannot perturb the stream.
   obs::MetricRegistry& registry = obs::MetricRegistry::Global();
-  std::vector<obs::ObsHistogram*> generate_timers(shard_count);
-  std::vector<obs::ObsHistogram*> init_timers(shard_count);
-  for (size_t s = 0; s < shard_count; ++s) {
-    const std::string prefix = "replay.shard" + std::to_string(s);
-    init_timers[s] = registry.GetTimer(prefix + ".init");
-    generate_timers[s] = registry.GetTimer(prefix + ".generate_step");
-  }
-  obs::ObsHistogram* push_wait = registry.GetTimer("replay.queue.push_wait");
   obs::ObsHistogram* pop_wait = registry.GetTimer("replay.queue.pop_wait");
   obs::ObsHistogram* backlog = registry.GetHistogram("replay.queue.occupancy", "batches");
   obs::ObsHistogram* sink_step = registry.GetTimer("replay.sink.step_complete");
   obs::Counter* dropped = registry.GetCounter("replay.batches_dropped");
   obs::Counter* merged = registry.GetCounter("replay.events_merged");
 
-  std::vector<std::promise<void>> init_done(shard_count);
-  std::vector<std::exception_ptr> worker_errors(shard_count);
-  std::vector<std::thread> workers;
-  workers.reserve(shard_count);
-  for (size_t s = 0; s < shard_count; ++s) {
-    workers.emplace_back([&, s] {
-      try {
-        obs::ScopedTimer init_timer(init_timers[s]);
-        shards[s]->Init(&result.metrics.qp_series, &result.offered_vd, &result.vd_truth);
-      } catch (...) {
-        init_done[s].set_exception(std::current_exception());
-        queues[s]->Close();
-        return;
-      }
-      init_done[s].set_value();
-      try {
-        for (size_t t = 0; t < steps; ++t) {
-          ShardBatch batch;
-          {
-            obs::ScopedTimer generate_timer(generate_timers[s]);
-            batch = shards[s]->GenerateStep(t);
-          }
-          // Push blocks while the queue is at capacity (backpressure) and
-          // fails once the merge side closed the queue (abort).
-          obs::ScopedTimer wait_timer(push_wait);
-          if (!queues[s]->Push(std::move(batch))) {
-            dropped->Increment();
-            return;
-          }
-        }
-      } catch (...) {
-        worker_errors[s] = std::current_exception();
-      }
-      queues[s]->Close();
-    });
-  }
+  source_->StartStreams(queue_ptrs);
 
   auto abort_and_join = [&] {
-    // CloseAndDrain (not plain Close): batches already generated but never
+    // CloseAndDrain (not plain Close): batches already produced but never
     // merged must land in the dropped counter, not vanish silently.
     for (auto& queue : queues) {
       dropped->Add(queue->CloseAndDrain());
     }
-    for (auto& worker : workers) {
-      if (worker.joinable()) {
-        worker.join();
-      }
-    }
+    source_->Join();
   };
-  auto rethrow_worker_error = [&] {
-    for (const std::exception_ptr& error : worker_errors) {
-      if (error) {
-        std::rethrow_exception(error);
-      }
+  auto rethrow_source_error = [&] {
+    if (std::exception_ptr error = source_->TakeError()) {
+      std::rethrow_exception(error);
     }
   };
 
   try {
-    // Wait for shard initialization: after this, the shared qp/offered/truth
-    // slots of every shard are built and the segment registries are frozen.
-    for (auto& done : init_done) {
-      done.get_future().get();
-    }
-
-    // Merged storage-domain registry, ascending segment id (each segment
-    // belongs to exactly one VD, hence one shard).
-    std::vector<std::pair<SegmentId, const RwSeries*>> segments;
-    for (const auto& shard : shards) {
-      segments.insert(segments.end(), shard->segments().begin(), shard->segments().end());
-    }
-    std::sort(segments.begin(), segments.end(),
-              [](const auto& a, const auto& b) { return a.first.value() < b.first.value(); });
+    // After this, the shared metric slots of every stream hold final values
+    // and the segment registry is frozen.
+    source_->AwaitReady();
+    const std::vector<std::pair<SegmentId, const RwSeries*>>& segments =
+        source_->segments();
 
     for (ReplaySink* sink : sinks_) {
       sink->OnStart(fleet_, steps, dt);
     }
 
-    std::vector<ShardBatch> current(shard_count);
+    std::vector<ShardBatch> current(stream_count);
     const bool observing = registry.enabled();
     for (size_t t = 0; t < steps; ++t) {
-      for (size_t s = 0; s < shard_count; ++s) {
+      for (size_t s = 0; s < stream_count; ++s) {
         if (observing) {
-          // Depth just before the pop: how far generation runs ahead of the
+          // Depth just before the pop: how far production runs ahead of the
           // merge (capacity = full backpressure, 0 = merge-bound).
           backlog->Record(queues[s]->size());
         }
@@ -170,20 +95,20 @@ WorkloadResult ReplayEngine::Run() {
           popped = queues[s]->Pop(&current[s]);
         }
         if (!popped || current[s].step != t) {
-          throw std::runtime_error("replay shard ended before the window completed");
+          throw std::runtime_error("replay stream ended before the window completed");
         }
       }
-      // K-way heap merge of the second's per-shard sorted batches. Every
-      // shard stream is totally ordered by ReplayEventBefore (batches are
-      // sorted and timestamps never cross step boundaries), so popping the
-      // least head yields the global stream order.
-      using Head = std::pair<size_t, size_t>;  // (index in batch, shard)
+      // K-way heap merge of the second's per-stream sorted batches. Every
+      // stream is totally ordered by ReplayEventBefore (batches are sorted
+      // and timestamps never cross step boundaries), so popping the least
+      // head yields the global stream order.
+      using Head = std::pair<size_t, size_t>;  // (index in batch, stream)
       const auto later = [&current](const Head& a, const Head& b) {
         return ReplayEventBefore(current[b.second].events[b.first],
                                  current[a.second].events[a.first]);
       };
       std::priority_queue<Head, std::vector<Head>, decltype(later)> heap(later);
-      for (size_t s = 0; s < shard_count; ++s) {
+      for (size_t s = 0; s < stream_count; ++s) {
         if (!current[s].events.empty()) {
           heap.push({0, s});
         }
@@ -213,26 +138,16 @@ WorkloadResult ReplayEngine::Run() {
     }
   } catch (...) {
     abort_and_join();
-    rethrow_worker_error();  // prefer the root cause over the merge symptom
+    rethrow_source_error();  // prefer the root cause over the merge symptom
     throw;
   }
 
-  for (auto& worker : workers) {
-    worker.join();
-  }
-  rethrow_worker_error();
+  source_->Join();
+  rethrow_source_error();
 
-  for (auto& shard : shards) {
-    shard->ExportSegments(&result.metrics);
-    result.faults.Accumulate(shard->fault_stats());
-  }
-  if (fault_driver_ != nullptr) {
-    // Whole-window property of the schedule — taken from the driver once, not
-    // summed across shards.
-    result.faults.degraded_steps = fault_driver_->DegradedStepCount();
-  }
-  if (config_.sampling_rate > 0.0) {
-    stats_.modeled_ios = static_cast<double>(stats_.events) / config_.sampling_rate;
+  source_->Finalize(&result);
+  if (source_->sampling_rate() > 0.0) {
+    stats_.modeled_ios = static_cast<double>(stats_.events) / source_->sampling_rate();
   }
   for (ReplaySink* sink : sinks_) {
     sink->OnFinish();

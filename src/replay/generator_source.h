@@ -1,0 +1,70 @@
+// The generate-online replay source: today's sharded synthesis path,
+// extracted from ReplayEngine so the merge loop can also be fed from disk
+// (store_source.h).
+//
+// VMs are round-robin partitioned across worker threads (deterministically
+// seeded per VM, so the merged output is independent of the partition), each
+// shard generates per-second batches into its bounded queue, and the full-
+// scale metric arrays are written in place during initialization.
+
+#ifndef SRC_REPLAY_GENERATOR_SOURCE_H_
+#define SRC_REPLAY_GENERATOR_SOURCE_H_
+
+#include <exception>
+#include <future>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/fault/driver.h"
+#include "src/replay/source.h"
+#include "src/topology/fleet.h"
+#include "src/workload/generator.h"
+
+namespace ebs {
+
+class GeneratorShardSource : public ReplaySource {
+ public:
+  // Builds the fault driver when config.faults has events (validating the
+  // schedule; throws std::invalid_argument on a malformed one). With an empty
+  // schedule the fault layer is skipped wholesale. `worker_threads` is
+  // clamped to [1, VM count].
+  GeneratorShardSource(const Fleet& fleet, WorkloadConfig config, size_t worker_threads);
+
+  size_t stream_count() const override { return shards_.size(); }
+  size_t window_steps() const override { return config_.window_steps; }
+  double step_seconds() const override { return config_.step_seconds; }
+  double sampling_rate() const override { return config_.sampling_rate; }
+
+  void PrepareResult(WorkloadResult* result) override;
+  void StartStreams(const std::vector<BoundedQueue<ShardBatch>*>& queues) override;
+  void AwaitReady() override;
+  const std::vector<std::pair<SegmentId, const RwSeries*>>& segments() const override {
+    return segments_;
+  }
+  void Join() override;
+  std::exception_ptr TakeError() override;
+  void Finalize(WorkloadResult* result) override;
+  const FaultDriver* fault_driver() const override { return fault_driver_.get(); }
+
+ private:
+  const Fleet& fleet_;
+  WorkloadConfig config_;
+  std::unique_ptr<FaultDriver> fault_driver_;
+  std::vector<std::unique_ptr<ReplayShard>> shards_;
+
+  // Shared result slots handed to shards; set by PrepareResult.
+  std::vector<RwSeries>* qp_series_ = nullptr;
+  std::vector<RwSeries>* offered_vd_ = nullptr;
+  std::vector<VdGroundTruth>* vd_truth_ = nullptr;
+
+  std::vector<std::promise<void>> init_done_;
+  std::vector<std::exception_ptr> worker_errors_;
+  std::vector<std::thread> workers_;
+  std::vector<std::pair<SegmentId, const RwSeries*>> segments_;
+};
+
+}  // namespace ebs
+
+#endif  // SRC_REPLAY_GENERATOR_SOURCE_H_

@@ -32,6 +32,32 @@ void RollupAggregatorSink::OnStepComplete(const ReplayStepView& view) {
   aggregator_->IngestStep(view.qp_series, view.step);
 }
 
+void StoreWriterSink::OnStart(const Fleet& /*fleet*/, size_t window_steps,
+                              double step_seconds) {
+  TraceStoreMeta meta;
+  meta.sampling_rate = sampling_rate_;
+  meta.window_seconds = static_cast<double>(window_steps) * step_seconds;
+  meta.step_seconds = step_seconds;
+  meta.window_steps = static_cast<uint32_t>(window_steps);
+  writer_ = std::make_unique<TraceStoreWriter>(path_, meta, options_);
+}
+
+void StoreWriterSink::OnEvent(const ReplayEvent& event) {
+  if (writer_ == nullptr || !writer_->ok()) {
+    return;  // sticky failure; Finish reports it
+  }
+  obs::ScopedTimer timer(append_timer_);
+  writer_->Append(event.record, event.step);
+}
+
+bool StoreWriterSink::Finish() {
+  return writer_ != nullptr && writer_->Finish();
+}
+
+bool StoreWriterSink::Finish(const WorkloadResult& result) {
+  return writer_ != nullptr && writer_->Finish(result);
+}
+
 void ThroughputProbeSink::OnEvent(const ReplayEvent& event) {
   ++events_;
   if (event.record.op == OpType::kRead) {

@@ -7,17 +7,22 @@
 //    Rollup* functions.
 //  - ThroughputProbeSink counts the stream — cheap observer for benchmarks
 //    and smoke checks.
+//  - StoreWriterSink streams the merged events into an EBST trace store
+//    (src/trace/store.h) with bounded memory.
 
 #ifndef SRC_REPLAY_SINKS_H_
 #define SRC_REPLAY_SINKS_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 
 #include "src/obs/metrics.h"
 #include "src/replay/sink.h"
 #include "src/trace/records.h"
+#include "src/trace/store.h"
 #include "src/trace/streaming_aggregate.h"
 
 namespace ebs {
@@ -53,6 +58,36 @@ class RollupAggregatorSink : public ReplaySink {
   std::optional<StreamingAggregator> aggregator_;
   bool segments_registered_ = false;
   obs::ObsHistogram* fold_timer_ = obs::MetricRegistry::Global().GetTimer("sink.rollup.fold_step");
+};
+
+// Streams every merged event into an EBST trace store, chunk by chunk —
+// memory stays bounded by one chunk, unlike collecting the dataset and batch-
+// writing it. The writer is created at OnStart (the window geometry arrives
+// there) and carries the CSV exporters' checked-write contract: call
+// Finish(result) with the run's WorkloadResult after ReplayEngine::Run
+// returns to embed the metrics section and close the file — only a true
+// return means the complete store reached the OS. Finish() without a result
+// writes a trace-only store (readable, but not replayable).
+class StoreWriterSink : public ReplaySink {
+ public:
+  StoreWriterSink(std::string path, double sampling_rate = kTraceSamplingRate,
+                  TraceStoreOptions options = {})
+      : path_(std::move(path)), sampling_rate_(sampling_rate), options_(options) {}
+
+  void OnStart(const Fleet& fleet, size_t window_steps, double step_seconds) override;
+  void OnEvent(const ReplayEvent& event) override;
+
+  bool ok() const { return writer_ != nullptr && writer_->ok(); }
+  bool Finish();
+  bool Finish(const WorkloadResult& result);
+
+ private:
+  std::string path_;
+  double sampling_rate_;
+  TraceStoreOptions options_;
+  std::unique_ptr<TraceStoreWriter> writer_;
+  obs::ObsHistogram* append_timer_ =
+      obs::MetricRegistry::Global().GetTimer("sink.store_writer.append");
 };
 
 class ThroughputProbeSink : public ReplaySink {

@@ -1,0 +1,151 @@
+#include "src/replay/store_source.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "src/obs/metrics.h"
+
+namespace ebs {
+
+StoreReplaySource::StoreReplaySource(const Fleet& fleet, const std::string& path)
+    : fleet_(fleet), reader_(path) {
+  if (!reader_.info().has_metrics) {
+    throw TraceStoreError(StoreErrorCode::kNoMetrics,
+                          "store replay needs a metrics section (use "
+                          "WriteWorkloadToStore or StoreWriterSink::Finish(result))");
+  }
+}
+
+void StoreReplaySource::PrepareResult(WorkloadResult* result) {
+  reader_.ReadMetricsInto(result);
+  if (result->metrics.qp_series.size() != fleet_.qps.size() ||
+      result->offered_vd.size() != fleet_.vds.size() ||
+      result->vd_truth.size() != fleet_.vds.size()) {
+    throw TraceStoreError(StoreErrorCode::kMismatch,
+                          "store metrics were recorded against a different fleet");
+  }
+  const TraceStoreMeta& meta = reader_.info().meta;
+  result->traces.window_seconds = meta.window_seconds;
+  result->traces.sampling_rate = meta.sampling_rate;
+
+  // Step views reference the result-owned series; the map is frozen from here
+  // on (PrepareResult precedes StartStreams, and nobody inserts afterwards).
+  segments_.clear();
+  segments_.reserve(result->metrics.segment_series.size());
+  for (const auto& [id, series] : result->metrics.segment_series) {
+    segments_.emplace_back(SegmentId(id), &series);
+  }
+  std::sort(segments_.begin(), segments_.end(),
+            [](const auto& a, const auto& b) { return a.first.value() < b.first.value(); });
+  for (const auto& [id, series] : segments_) {
+    if (id.value() >= fleet_.segments.size()) {
+      throw TraceStoreError(StoreErrorCode::kMismatch,
+                            "store segment id beyond the fleet's registry");
+    }
+  }
+}
+
+void StoreReplaySource::ValidateRecord(const TraceRecord& record) const {
+  const bool in_range = record.user.value() < fleet_.users.size() &&
+                        record.vm.value() < fleet_.vms.size() &&
+                        record.vd.value() < fleet_.vds.size() &&
+                        record.qp.value() < fleet_.qps.size() &&
+                        record.wt.value() < fleet_.wts.size() &&
+                        record.cn.value() < fleet_.nodes.size() &&
+                        record.segment.value() < fleet_.segments.size() &&
+                        record.bs.value() < fleet_.block_servers.size() &&
+                        record.sn.value() < fleet_.storage_nodes.size();
+  if (!in_range) {
+    throw TraceStoreError(StoreErrorCode::kMismatch,
+                          "trace record ids beyond the fleet's entity counts");
+  }
+}
+
+void StoreReplaySource::StartStreams(const std::vector<BoundedQueue<ShardBatch>*>& queues) {
+  producer_ = std::thread([this, queue = queues[0]] { StreamChunks(queue); });
+}
+
+void StoreReplaySource::StreamChunks(BoundedQueue<ShardBatch>* queue) {
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  obs::ObsHistogram* decode_timer = registry.GetTimer("replay.store.decode_chunk");
+  obs::ObsHistogram* push_wait = registry.GetTimer("replay.queue.push_wait");
+  obs::Counter* dropped = registry.GetCounter("replay.batches_dropped");
+  try {
+    const uint32_t total_steps = reader_.info().meta.window_steps;
+    if (total_steps == 0) {
+      queue->Close();
+      return;
+    }
+    ShardBatch batch;
+    batch.step = 0;
+    // Reconstructs the per-VD emission indices the generator path stamps.
+    // They only matter as merge tie-breaks, and a store source is a single
+    // totally-ordered stream — but keeping them makes the event streams of
+    // the two paths identical field for field.
+    std::unordered_map<uint32_t, uint64_t> vd_sequence;
+    std::vector<TraceRecord> records;
+    std::vector<uint32_t> steps;
+    for (size_t chunk = 0; chunk < reader_.chunks().size(); ++chunk) {
+      records.clear();
+      steps.clear();
+      {
+        obs::ScopedTimer timer(decode_timer);
+        reader_.ReadChunk(chunk, &records, &steps);
+      }
+      for (size_t i = 0; i < records.size(); ++i) {
+        // Within a chunk the reader validated step monotonicity; across
+        // chunks it is this stream's invariant.
+        if (steps[i] < batch.step) {
+          throw TraceStoreError(StoreErrorCode::kChunkCorrupt,
+                                "step regression across chunk boundary");
+        }
+        while (batch.step < steps[i]) {
+          const uint32_t next = batch.step + 1;
+          obs::ScopedTimer wait_timer(push_wait);
+          if (!queue->Push(std::move(batch))) {
+            dropped->Increment();
+            return;
+          }
+          batch = ShardBatch{};
+          batch.step = next;
+        }
+        ValidateRecord(records[i]);
+        ReplayEvent event;
+        event.record = records[i];
+        event.step = steps[i];
+        event.shard = 0;
+        event.sequence = vd_sequence[records[i].vd.value()]++;
+        batch.events.push_back(std::move(event));
+      }
+    }
+    while (true) {
+      const uint32_t next = batch.step + 1;
+      obs::ScopedTimer wait_timer(push_wait);
+      if (!queue->Push(std::move(batch))) {
+        dropped->Increment();
+        return;
+      }
+      if (next >= total_steps) {
+        break;
+      }
+      batch = ShardBatch{};
+      batch.step = next;
+    }
+  } catch (...) {
+    error_ = std::current_exception();
+  }
+  queue->Close();
+}
+
+void StoreReplaySource::Join() {
+  if (producer_.joinable()) {
+    producer_.join();
+  }
+}
+
+std::exception_ptr StoreReplaySource::TakeError() {
+  return std::exchange(error_, nullptr);
+}
+
+}  // namespace ebs

@@ -1,0 +1,69 @@
+#include "src/trace/format.h"
+
+#include <array>
+#include <cmath>
+
+namespace ebs {
+
+const char* StoreErrorCodeName(StoreErrorCode code) {
+  switch (code) {
+    case StoreErrorCode::kIoError:
+      return "io error";
+    case StoreErrorCode::kTruncated:
+      return "truncated";
+    case StoreErrorCode::kBadMagic:
+      return "bad magic";
+    case StoreErrorCode::kBadVersion:
+      return "bad version";
+    case StoreErrorCode::kHeaderCorrupt:
+      return "header corrupt";
+    case StoreErrorCode::kFooterCorrupt:
+      return "footer corrupt";
+    case StoreErrorCode::kChunkCorrupt:
+      return "chunk corrupt";
+    case StoreErrorCode::kDecodeError:
+      return "decode error";
+    case StoreErrorCode::kNoMetrics:
+      return "no metrics section";
+    case StoreErrorCode::kMismatch:
+      return "store/fleet mismatch";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) != 0 ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+bool QuantizeScaled(double value, double scale, int64_t* out) {
+  const double scaled = value * scale;
+  if (!std::isfinite(scaled) || scaled > static_cast<double>(kMaxQuantized) ||
+      scaled < -static_cast<double>(kMaxQuantized)) {
+    return false;
+  }
+  *out = std::llround(scaled);
+  return true;
+}
+
+}  // namespace ebs

@@ -1,0 +1,1340 @@
+#include "src/trace/store.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+
+namespace ebs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Column schema.
+// ---------------------------------------------------------------------------
+
+// Column blocks appear in a chunk payload in exactly this order. `vd` comes
+// right after `step` because every later integer column is delta-predicted
+// against the previous record of the same VD.
+enum Column : size_t {
+  kColStep = 0,
+  kColVd,
+  kColTimestamp,
+  kColOp,
+  kColSize,
+  kColOffset,
+  kColUser,
+  kColVm,
+  kColQp,
+  kColWt,
+  kColCn,
+  kColSegment,
+  kColBs,
+  kColSn,
+  kColLat0,  // five consecutive latency components
+  kColLat1,
+  kColLat2,
+  kColLat3,
+  kColLat4,
+  kColFaultRetries,
+  kColFaultTimedOut,
+  kColFaultFailedOver,
+  kColumnCount,
+};
+
+enum ColumnEncoding : uint8_t {
+  kEncAllZero = 0,       // empty payload: every value is zero
+  kEncPlain = 1,         // zigzag varint deltas, one per record
+  kEncRle = 2,           // (run-count varint, zigzag delta) pairs
+  kEncBitmap = 3,        // packed bits, LSB-first
+  kEncExactPlain = 4,    // f64 bit-pattern deltas, plain
+  kEncExactRle = 5,      // f64 bit-pattern deltas, RLE
+  kEncQuantPlain = 6,    // fixed-point deltas, plain
+  kEncQuantRle = 7,      // fixed-point deltas, RLE
+  kEncShiftPlain = 8,    // [shift u8] + deltas of value>>shift (aligned columns)
+  kEncShiftRle = 9,
+  kEncRawPlain = 10,     // zigzag varint values, prediction disabled
+  kEncRawRle = 11,
+  kEncQuantRawPlain = 12,  // fixed-point values, prediction disabled
+  kEncQuantRawRle = 13,
+};
+
+[[noreturn]] void DecodeFail(const std::string& what) {
+  throw TraceStoreError(StoreErrorCode::kDecodeError, what);
+}
+
+// ---------------------------------------------------------------------------
+// Delta transforms. All arithmetic wraps through uint64_t, so any value —
+// including UINT64_MAX offsets and arbitrary double bit patterns — survives
+// the delta round trip exactly.
+// ---------------------------------------------------------------------------
+
+std::vector<int64_t> GlobalDeltas(const std::vector<uint64_t>& values) {
+  std::vector<int64_t> deltas(values.size());
+  uint64_t prev = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    deltas[i] = static_cast<int64_t>(values[i] - prev);
+    prev = values[i];
+  }
+  return deltas;
+}
+
+void GlobalIntegrate(const std::vector<int64_t>& deltas, std::vector<uint64_t>* values) {
+  values->resize(deltas.size());
+  uint64_t prev = 0;
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    prev += static_cast<uint64_t>(deltas[i]);
+    (*values)[i] = prev;
+  }
+}
+
+std::vector<int64_t> PerVdDeltas(const std::vector<uint64_t>& values,
+                                 const std::vector<uint32_t>& vds) {
+  std::vector<int64_t> deltas(values.size());
+  std::unordered_map<uint32_t, uint64_t> last;
+  for (size_t i = 0; i < values.size(); ++i) {
+    uint64_t& prev = last[vds[i]];
+    deltas[i] = static_cast<int64_t>(values[i] - prev);
+    prev = values[i];
+  }
+  return deltas;
+}
+
+void PerVdIntegrate(const std::vector<int64_t>& deltas, const std::vector<uint32_t>& vds,
+                    std::vector<uint64_t>* values) {
+  values->resize(deltas.size());
+  std::unordered_map<uint32_t, uint64_t> last;
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    uint64_t& prev = last[vds[i]];
+    prev += static_cast<uint64_t>(deltas[i]);
+    (*values)[i] = prev;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Block encode/decode.
+// ---------------------------------------------------------------------------
+
+void AppendBlock(std::vector<uint8_t>* out, uint8_t encoding,
+                 const std::vector<uint8_t>& payload) {
+  out->push_back(encoding);
+  PutVarint(out, payload.size());
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+std::vector<uint8_t> EncodePlain(const std::vector<int64_t>& xs) {
+  std::vector<uint8_t> payload;
+  for (const int64_t x : xs) {
+    PutZigzag(&payload, x);
+  }
+  return payload;
+}
+
+std::vector<uint8_t> EncodeRle(const std::vector<int64_t>& xs) {
+  std::vector<uint8_t> payload;
+  for (size_t i = 0; i < xs.size();) {
+    size_t run = 1;
+    while (i + run < xs.size() && xs[i + run] == xs[i]) {
+      ++run;
+    }
+    PutVarint(&payload, run);
+    PutZigzag(&payload, xs[i]);
+    i += run;
+  }
+  return payload;
+}
+
+struct Candidate {
+  uint8_t tag = kEncAllZero;
+  std::vector<uint8_t> payload;
+};
+
+// Emits the smallest candidate block.
+void EmitBest(std::vector<uint8_t>* out, std::vector<Candidate> candidates) {
+  size_t best = 0;
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i].payload.size() < candidates[best].payload.size()) {
+      best = i;
+    }
+  }
+  AppendBlock(out, candidates[best].tag, candidates[best].payload);
+}
+
+void AddPlainRle(std::vector<Candidate>* candidates, const std::vector<int64_t>& xs,
+                 uint8_t plain_tag, uint8_t rle_tag) {
+  candidates->push_back({plain_tag, EncodePlain(xs)});
+  candidates->push_back({rle_tag, EncodeRle(xs)});
+}
+
+// Emits the smaller of the plain and RLE delta encodings (or the all-zero
+// marker) — the fixed two-candidate form used by metric series blocks.
+void AppendDeltaBlock(std::vector<uint8_t>* out, const std::vector<int64_t>& deltas,
+                      uint8_t base) {
+  const bool all_zero =
+      std::all_of(deltas.begin(), deltas.end(), [](int64_t d) { return d == 0; });
+  if (all_zero) {
+    AppendBlock(out, kEncAllZero, {});
+    return;
+  }
+  std::vector<Candidate> candidates;
+  AddPlainRle(&candidates, deltas, base, static_cast<uint8_t>(base + 1));
+  EmitBest(out, std::move(candidates));
+}
+
+void AppendBitmapBlock(std::vector<uint8_t>* out, const std::vector<bool>& bits) {
+  if (std::none_of(bits.begin(), bits.end(), [](bool b) { return b; })) {
+    AppendBlock(out, kEncAllZero, {});
+    return;
+  }
+  std::vector<uint8_t> payload((bits.size() + 7) / 8, 0);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) {
+      payload[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+    }
+  }
+  AppendBlock(out, kEncBitmap, payload);
+}
+
+struct DecodedBlock {
+  uint8_t encoding = kEncAllZero;
+  ByteReader payload;
+};
+
+DecodedBlock NextBlock(ByteReader* reader, const char* column) {
+  DecodedBlock block;
+  uint64_t size = 0;
+  if (!reader->GetByte(&block.encoding) || !reader->GetVarint(&size) ||
+      !reader->GetSpan(static_cast<size_t>(size), &block.payload)) {
+    DecodeFail(std::string("column block overruns chunk payload: ") + column);
+  }
+  return block;
+}
+
+// Decodes `n` zigzag values in plain or RLE layout from `payload`. The caller
+// checks payload.exhausted() afterwards (shift blocks carry a prefix byte, so
+// the list is not always the whole payload).
+std::vector<int64_t> DecodeZigzagList(ByteReader* payload, bool rle, size_t n,
+                                      const char* column) {
+  std::vector<int64_t> xs;
+  xs.reserve(n);
+  if (rle) {
+    while (xs.size() < n) {
+      uint64_t run = 0;
+      int64_t value = 0;
+      if (!payload->GetVarint(&run) || !payload->GetZigzag(&value)) {
+        DecodeFail(std::string("RLE overrun in column: ") + column);
+      }
+      if (run == 0 || run > n - xs.size()) {
+        DecodeFail(std::string("RLE run count out of range in column: ") + column);
+      }
+      xs.insert(xs.end(), static_cast<size_t>(run), value);
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      int64_t x = 0;
+      if (!payload->GetZigzag(&x)) {
+        DecodeFail(std::string("varint overrun in column: ") + column);
+      }
+      xs.push_back(x);
+    }
+  }
+  return xs;
+}
+
+// Decodes a delta block in the fixed two-tag form (all-zero / base / base+1)
+// used by metric series.
+std::vector<int64_t> DecodeDeltaBlock(DecodedBlock block, size_t n, uint8_t base,
+                                      const char* column) {
+  std::vector<int64_t> deltas;
+  if (block.encoding == kEncAllZero) {
+    deltas.assign(n, 0);
+  } else if (block.encoding == base || block.encoding == base + 1) {
+    deltas = DecodeZigzagList(&block.payload, block.encoding == base + 1, n, column);
+  } else {
+    DecodeFail(std::string("unexpected encoding tag in column: ") + column);
+  }
+  if (!block.payload.exhausted()) {
+    DecodeFail(std::string("trailing bytes in column: ") + column);
+  }
+  return deltas;
+}
+
+std::vector<bool> DecodeBitmapBlock(DecodedBlock block, size_t n, const char* column) {
+  std::vector<bool> bits(n, false);
+  if (block.encoding == kEncAllZero) {
+    if (!block.payload.exhausted()) {
+      DecodeFail(std::string("all-zero block with payload: ") + column);
+    }
+    return bits;
+  }
+  if (block.encoding != kEncBitmap || block.payload.remaining() != (n + 7) / 8) {
+    DecodeFail(std::string("malformed bitmap column: ") + column);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    bits[i] = (block.payload.pos[i / 8] >> (i % 8)) & 1u;
+  }
+  return bits;
+}
+
+// ---------------------------------------------------------------------------
+// Double column helpers (exact bit patterns vs fixed-point quantization).
+// ---------------------------------------------------------------------------
+
+uint64_t BitsOf(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double DoubleOf(uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// Quantizes a whole column; false if any value does not fit the grid (the
+// caller then falls back to the exact bit-pattern encoding for this column).
+bool QuantizeColumn(const std::vector<double>& values, double scale,
+                    std::vector<uint64_t>* out) {
+  out->resize(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    int64_t q = 0;
+    if (!QuantizeScaled(values[i], scale, &q)) {
+      return false;
+    }
+    (*out)[i] = static_cast<uint64_t>(q);
+  }
+  return true;
+}
+
+// Encodes one double column. kExport columns that fit the fixed-point grid
+// get delta AND raw (no-delta) candidates on the grid — raw wins on i.i.d.
+// columns like latency components, where deltas double the entropy range.
+// Everything else falls back to exact bit-pattern deltas.
+void AppendDoubleColumn(std::vector<uint8_t>* out, const std::vector<double>& values,
+                        const std::vector<uint32_t>& vds, bool per_vd, double scale,
+                        StorePrecision precision) {
+  std::vector<uint64_t> raw;
+  const bool quant =
+      precision == StorePrecision::kExport && QuantizeColumn(values, scale, &raw);
+  if (!quant) {
+    raw.resize(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      raw[i] = BitsOf(values[i]);
+    }
+  }
+  if (std::all_of(raw.begin(), raw.end(), [](uint64_t v) { return v == 0; })) {
+    AppendBlock(out, kEncAllZero, {});
+    return;
+  }
+  const std::vector<int64_t> deltas = per_vd ? PerVdDeltas(raw, vds) : GlobalDeltas(raw);
+  std::vector<Candidate> candidates;
+  if (quant) {
+    AddPlainRle(&candidates, deltas, kEncQuantPlain, kEncQuantRle);
+    std::vector<int64_t> grid(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      grid[i] = static_cast<int64_t>(raw[i]);
+    }
+    AddPlainRle(&candidates, grid, kEncQuantRawPlain, kEncQuantRawRle);
+  } else {
+    AddPlainRle(&candidates, deltas, kEncExactPlain, kEncExactRle);
+  }
+  EmitBest(out, std::move(candidates));
+}
+
+std::vector<double> DecodeDoubleColumn(ByteReader* reader, size_t n,
+                                       const std::vector<uint32_t>& vds, bool per_vd,
+                                       double scale, const char* column) {
+  DecodedBlock block = NextBlock(reader, column);
+  std::vector<uint64_t> raw;
+  bool quantized = false;
+  const auto integrate = [&](const std::vector<int64_t>& deltas) {
+    if (per_vd) {
+      PerVdIntegrate(deltas, vds, &raw);
+    } else {
+      GlobalIntegrate(deltas, &raw);
+    }
+  };
+  switch (block.encoding) {
+    case kEncAllZero:
+      raw.assign(n, 0);  // bits 0 and grid 0 both decode to 0.0
+      break;
+    case kEncExactPlain:
+    case kEncExactRle:
+      integrate(DecodeZigzagList(&block.payload, block.encoding == kEncExactRle, n, column));
+      break;
+    case kEncQuantPlain:
+    case kEncQuantRle:
+      quantized = true;
+      integrate(DecodeZigzagList(&block.payload, block.encoding == kEncQuantRle, n, column));
+      break;
+    case kEncQuantRawPlain:
+    case kEncQuantRawRle: {
+      quantized = true;
+      const std::vector<int64_t> grid =
+          DecodeZigzagList(&block.payload, block.encoding == kEncQuantRawRle, n, column);
+      raw.assign(grid.begin(), grid.end());
+      break;
+    }
+    default:
+      DecodeFail(std::string("unexpected encoding tag in column: ") + column);
+  }
+  if (!block.payload.exhausted()) {
+    DecodeFail(std::string("trailing bytes in column: ") + column);
+  }
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = quantized ? DequantizeScaled(static_cast<int64_t>(raw[i]), scale)
+                          : DoubleOf(raw[i]);
+  }
+  return values;
+}
+
+// ---------------------------------------------------------------------------
+// Integer column helpers.
+// ---------------------------------------------------------------------------
+
+// Encodes an integer column, choosing the smallest of: per-VD/global deltas
+// (plain or RLE), raw zigzag values with prediction disabled, and — when every
+// value shares trailing zero bits (aligned offsets, power-of-two sizes) —
+// deltas of value >> shift with the shift amount as a one-byte prefix.
+void AppendIntColumn(std::vector<uint8_t>* out, const std::vector<uint64_t>& values,
+                     const std::vector<uint32_t>& vds, bool per_vd) {
+  if (std::all_of(values.begin(), values.end(), [](uint64_t v) { return v == 0; })) {
+    AppendBlock(out, kEncAllZero, {});
+    return;
+  }
+  const auto deltas_of = [&](const std::vector<uint64_t>& vs) {
+    return per_vd ? PerVdDeltas(vs, vds) : GlobalDeltas(vs);
+  };
+  std::vector<Candidate> candidates;
+  AddPlainRle(&candidates, deltas_of(values), kEncPlain, kEncRle);
+
+  std::vector<int64_t> raw(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    raw[i] = static_cast<int64_t>(values[i]);
+  }
+  AddPlainRle(&candidates, raw, kEncRawPlain, kEncRawRle);
+
+  uint64_t low_bits = 0;
+  for (const uint64_t v : values) {
+    low_bits |= v;
+  }
+  const int shift = std::countr_zero(low_bits);  // low_bits != 0: not all zero
+  if (shift > 0) {
+    std::vector<uint64_t> shifted(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      shifted[i] = values[i] >> shift;
+    }
+    const std::vector<int64_t> shifted_deltas = deltas_of(shifted);
+    for (const bool rle : {false, true}) {
+      Candidate c{rle ? kEncShiftRle : kEncShiftPlain, {static_cast<uint8_t>(shift)}};
+      const std::vector<uint8_t> body =
+          rle ? EncodeRle(shifted_deltas) : EncodePlain(shifted_deltas);
+      c.payload.insert(c.payload.end(), body.begin(), body.end());
+      candidates.push_back(std::move(c));
+    }
+  }
+  EmitBest(out, std::move(candidates));
+}
+
+void AppendU32Column(std::vector<uint8_t>* out, const std::vector<uint64_t>& values,
+                     const std::vector<uint32_t>& vds) {
+  AppendIntColumn(out, values, vds, /*per_vd=*/true);
+}
+
+std::vector<uint64_t> DecodeIntColumn(ByteReader* reader, size_t n,
+                                      const std::vector<uint32_t>& vds, bool per_vd,
+                                      uint64_t max_value, const char* column) {
+  DecodedBlock block = NextBlock(reader, column);
+  std::vector<uint64_t> values;
+  const auto integrate = [&](const std::vector<int64_t>& deltas) {
+    if (per_vd) {
+      PerVdIntegrate(deltas, vds, &values);
+    } else {
+      GlobalIntegrate(deltas, &values);
+    }
+  };
+  switch (block.encoding) {
+    case kEncAllZero:
+      values.assign(n, 0);
+      break;
+    case kEncPlain:
+    case kEncRle:
+      integrate(DecodeZigzagList(&block.payload, block.encoding == kEncRle, n, column));
+      break;
+    case kEncShiftPlain:
+    case kEncShiftRle: {
+      uint8_t shift = 0;
+      if (!block.payload.GetByte(&shift) || shift == 0 || shift >= 64) {
+        DecodeFail(std::string("bad shift amount in column: ") + column);
+      }
+      integrate(
+          DecodeZigzagList(&block.payload, block.encoding == kEncShiftRle, n, column));
+      for (uint64_t& v : values) {
+        if ((v >> (64 - shift)) != 0) {
+          DecodeFail(std::string("shifted value overflows in column: ") + column);
+        }
+        v <<= shift;
+      }
+      break;
+    }
+    case kEncRawPlain:
+    case kEncRawRle: {
+      const std::vector<int64_t> raw =
+          DecodeZigzagList(&block.payload, block.encoding == kEncRawRle, n, column);
+      values.assign(raw.begin(), raw.end());
+      break;
+    }
+    default:
+      DecodeFail(std::string("unexpected encoding tag in column: ") + column);
+  }
+  if (!block.payload.exhausted()) {
+    DecodeFail(std::string("trailing bytes in column: ") + column);
+  }
+  for (const uint64_t v : values) {
+    if (v > max_value) {
+      DecodeFail(std::string("value out of range in column: ") + column);
+    }
+  }
+  return values;
+}
+
+// ---------------------------------------------------------------------------
+// Chunk payload encode/decode.
+// ---------------------------------------------------------------------------
+
+template <typename Get>
+std::vector<uint64_t> Gather(const std::vector<TraceRecord>& records, Get get) {
+  std::vector<uint64_t> values(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    values[i] = static_cast<uint64_t>(get(records[i]));
+  }
+  return values;
+}
+
+std::vector<uint8_t> EncodeChunkPayload(const std::vector<TraceRecord>& records,
+                                        const std::vector<uint32_t>& steps,
+                                        StorePrecision precision) {
+  const size_t n = records.size();
+  std::vector<uint8_t> out;
+  std::vector<uint32_t> vds(n);
+  for (size_t i = 0; i < n; ++i) {
+    vds[i] = records[i].vd.value();
+  }
+
+  std::vector<uint64_t> step_values(steps.begin(), steps.end());
+  AppendIntColumn(&out, step_values, vds, /*per_vd=*/false);
+  AppendIntColumn(&out,
+                  Gather(records, [](const TraceRecord& r) { return r.vd.value(); }), vds,
+                  /*per_vd=*/false);
+
+  std::vector<double> ts(n);
+  for (size_t i = 0; i < n; ++i) {
+    ts[i] = records[i].timestamp;
+  }
+  AppendDoubleColumn(&out, ts, vds, /*per_vd=*/false, kMicrosPerSecond, precision);
+
+  std::vector<bool> writes(n);
+  for (size_t i = 0; i < n; ++i) {
+    writes[i] = records[i].op == OpType::kWrite;
+  }
+  AppendBitmapBlock(&out, writes);
+
+  AppendU32Column(&out, Gather(records, [](const TraceRecord& r) { return r.size_bytes; }),
+                  vds);
+  AppendIntColumn(&out, Gather(records, [](const TraceRecord& r) { return r.offset; }),
+                  vds, /*per_vd=*/true);
+  AppendU32Column(&out, Gather(records, [](const TraceRecord& r) { return r.user.value(); }),
+                  vds);
+  AppendU32Column(&out, Gather(records, [](const TraceRecord& r) { return r.vm.value(); }),
+                  vds);
+  AppendU32Column(&out, Gather(records, [](const TraceRecord& r) { return r.qp.value(); }),
+                  vds);
+  AppendU32Column(&out, Gather(records, [](const TraceRecord& r) { return r.wt.value(); }),
+                  vds);
+  AppendU32Column(&out, Gather(records, [](const TraceRecord& r) { return r.cn.value(); }),
+                  vds);
+  const std::vector<uint64_t> segments =
+      Gather(records, [](const TraceRecord& r) { return r.segment.value(); });
+  AppendU32Column(&out, segments, vds);
+  // bs and sn are functions of the segment (a segment lives on one block
+  // server on one storage node), so predicting them keyed by segment makes
+  // their deltas almost always zero.
+  std::vector<uint32_t> seg_keys(segments.begin(), segments.end());
+  AppendU32Column(&out, Gather(records, [](const TraceRecord& r) { return r.bs.value(); }),
+                  seg_keys);
+  AppendU32Column(&out, Gather(records, [](const TraceRecord& r) { return r.sn.value(); }),
+                  seg_keys);
+
+  std::vector<double> lat(n);
+  for (int c = 0; c < kStackComponentCount; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      lat[i] = records[i].latency.component_us[c];
+    }
+    AppendDoubleColumn(&out, lat, vds, /*per_vd=*/true, kCentiPerMicro, precision);
+  }
+
+  AppendIntColumn(&out,
+                  Gather(records, [](const TraceRecord& r) { return r.fault_retries; }),
+                  vds, /*per_vd=*/true);
+  std::vector<bool> timed_out(n);
+  std::vector<bool> failed_over(n);
+  for (size_t i = 0; i < n; ++i) {
+    timed_out[i] = records[i].fault_timed_out;
+    failed_over[i] = records[i].fault_failed_over;
+  }
+  AppendBitmapBlock(&out, timed_out);
+  AppendBitmapBlock(&out, failed_over);
+  return out;
+}
+
+void DecodeChunkPayload(ByteReader reader, size_t n, uint32_t window_steps,
+                        std::vector<TraceRecord>* records, std::vector<uint32_t>* steps) {
+  const std::vector<uint64_t> step_values =
+      DecodeIntColumn(&reader, n, {}, /*per_vd=*/false,
+                      window_steps == 0 ? 0 : window_steps - 1, "step");
+  for (size_t i = 1; i < n; ++i) {
+    if (step_values[i] < step_values[i - 1]) {
+      DecodeFail("step column not non-decreasing");
+    }
+  }
+  const std::vector<uint64_t> vd_values =
+      DecodeIntColumn(&reader, n, {}, /*per_vd=*/false,
+                      std::numeric_limits<uint32_t>::max(), "vd");
+  std::vector<uint32_t> vds(n);
+  for (size_t i = 0; i < n; ++i) {
+    vds[i] = static_cast<uint32_t>(vd_values[i]);
+  }
+
+  const std::vector<double> ts =
+      DecodeDoubleColumn(&reader, n, vds, /*per_vd=*/false, kMicrosPerSecond, "timestamp");
+  const std::vector<bool> writes = DecodeBitmapBlock(NextBlock(&reader, "op"), n, "op");
+
+  const uint64_t u32_max = std::numeric_limits<uint32_t>::max();
+  const std::vector<uint64_t> sizes = DecodeIntColumn(&reader, n, vds, true, u32_max, "size");
+  const std::vector<uint64_t> offsets = DecodeIntColumn(
+      &reader, n, vds, true, std::numeric_limits<uint64_t>::max(), "offset");
+  const std::vector<uint64_t> users = DecodeIntColumn(&reader, n, vds, true, u32_max, "user");
+  const std::vector<uint64_t> vms = DecodeIntColumn(&reader, n, vds, true, u32_max, "vm");
+  const std::vector<uint64_t> qps = DecodeIntColumn(&reader, n, vds, true, u32_max, "qp");
+  const std::vector<uint64_t> wts = DecodeIntColumn(&reader, n, vds, true, u32_max, "wt");
+  const std::vector<uint64_t> cns = DecodeIntColumn(&reader, n, vds, true, u32_max, "cn");
+  const std::vector<uint64_t> segments =
+      DecodeIntColumn(&reader, n, vds, true, u32_max, "segment");
+  const std::vector<uint32_t> seg_keys(segments.begin(), segments.end());
+  const std::vector<uint64_t> bss =
+      DecodeIntColumn(&reader, n, seg_keys, true, u32_max, "bs");
+  const std::vector<uint64_t> sns =
+      DecodeIntColumn(&reader, n, seg_keys, true, u32_max, "sn");
+
+  std::array<std::vector<double>, kStackComponentCount> lat;
+  for (int c = 0; c < kStackComponentCount; ++c) {
+    lat[c] = DecodeDoubleColumn(&reader, n, vds, /*per_vd=*/true, kCentiPerMicro, "latency");
+  }
+
+  const std::vector<uint64_t> retries =
+      DecodeIntColumn(&reader, n, vds, true, std::numeric_limits<uint8_t>::max(), "retries");
+  const std::vector<bool> timed_out =
+      DecodeBitmapBlock(NextBlock(&reader, "timed_out"), n, "timed_out");
+  const std::vector<bool> failed_over =
+      DecodeBitmapBlock(NextBlock(&reader, "failed_over"), n, "failed_over");
+
+  if (!reader.exhausted()) {
+    DecodeFail("trailing bytes after last column");
+  }
+
+  records->reserve(records->size() + n);
+  if (steps != nullptr) {
+    steps->reserve(steps->size() + n);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    TraceRecord r;
+    r.timestamp = ts[i];
+    r.op = writes[i] ? OpType::kWrite : OpType::kRead;
+    r.size_bytes = static_cast<uint32_t>(sizes[i]);
+    r.offset = offsets[i];
+    r.user = UserId(static_cast<uint32_t>(users[i]));
+    r.vm = VmId(static_cast<uint32_t>(vms[i]));
+    r.vd = VdId(vds[i]);
+    r.qp = QpId(static_cast<uint32_t>(qps[i]));
+    r.wt = WorkerThreadId(static_cast<uint32_t>(wts[i]));
+    r.cn = ComputeNodeId(static_cast<uint32_t>(cns[i]));
+    r.segment = SegmentId(static_cast<uint32_t>(segments[i]));
+    r.bs = BlockServerId(static_cast<uint32_t>(bss[i]));
+    r.sn = StorageNodeId(static_cast<uint32_t>(sns[i]));
+    for (int c = 0; c < kStackComponentCount; ++c) {
+      r.latency.component_us[c] = lat[c][i];
+    }
+    r.fault_retries = static_cast<uint8_t>(retries[i]);
+    r.fault_timed_out = timed_out[i];
+    r.fault_failed_over = failed_over[i];
+    records->push_back(r);
+    if (steps != nullptr) {
+      steps->push_back(static_cast<uint32_t>(step_values[i]));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics section encode/decode.
+// ---------------------------------------------------------------------------
+
+void AppendSeriesBlock(std::vector<uint8_t>* out, const TimeSeries& series) {
+  std::vector<uint64_t> raw(series.size());
+  for (size_t i = 0; i < series.size(); ++i) {
+    raw[i] = BitsOf(series[i]);
+  }
+  AppendDeltaBlock(out, GlobalDeltas(raw), kEncExactPlain);
+}
+
+TimeSeries DecodeSeriesBlock(ByteReader* reader, size_t steps, double step_seconds) {
+  const std::vector<int64_t> deltas =
+      DecodeDeltaBlock(NextBlock(reader, "series"), steps, kEncExactPlain, "series");
+  std::vector<uint64_t> raw;
+  GlobalIntegrate(deltas, &raw);
+  TimeSeries series(steps, step_seconds);
+  for (size_t i = 0; i < steps; ++i) {
+    series[i] = DoubleOf(raw[i]);
+  }
+  return series;
+}
+
+void AppendRwSeries(std::vector<uint8_t>* out, const RwSeries& series) {
+  AppendSeriesBlock(out, series.read_bytes);
+  AppendSeriesBlock(out, series.write_bytes);
+  AppendSeriesBlock(out, series.read_ops);
+  AppendSeriesBlock(out, series.write_ops);
+}
+
+RwSeries DecodeRwSeries(ByteReader* reader, size_t steps, double step_seconds) {
+  RwSeries series;
+  series.read_bytes = DecodeSeriesBlock(reader, steps, step_seconds);
+  series.write_bytes = DecodeSeriesBlock(reader, steps, step_seconds);
+  series.read_ops = DecodeSeriesBlock(reader, steps, step_seconds);
+  series.write_ops = DecodeSeriesBlock(reader, steps, step_seconds);
+  return series;
+}
+
+std::vector<uint8_t> EncodeMetricsSection(const WorkloadResult& result) {
+  std::vector<uint8_t> out;
+  const MetricDataset& metrics = result.metrics;
+  PutVarint(&out, metrics.window_steps);
+  PutF64(&out, metrics.step_seconds);
+
+  PutVarint(&out, metrics.qp_series.size());
+  for (const RwSeries& series : metrics.qp_series) {
+    AppendRwSeries(&out, series);
+  }
+
+  std::vector<uint32_t> segment_ids;
+  segment_ids.reserve(metrics.segment_series.size());
+  for (const auto& [id, series] : metrics.segment_series) {
+    segment_ids.push_back(id);
+  }
+  std::sort(segment_ids.begin(), segment_ids.end());
+  PutVarint(&out, segment_ids.size());
+  for (const uint32_t id : segment_ids) {
+    PutVarint(&out, id);
+    AppendRwSeries(&out, metrics.segment_series.at(id));
+  }
+
+  PutVarint(&out, result.offered_vd.size());
+  for (const RwSeries& series : result.offered_vd) {
+    AppendRwSeries(&out, series);
+  }
+
+  PutVarint(&out, result.vd_truth.size());
+  for (const VdGroundTruth& truth : result.vd_truth) {
+    const uint8_t flags = static_cast<uint8_t>((truth.read_active ? 1 : 0) |
+                                               (truth.write_active ? 2 : 0));
+    out.push_back(flags);
+    PutF64(&out, truth.mean_read_bps);
+    PutF64(&out, truth.mean_write_bps);
+    PutVarint(&out, truth.hot_offset);
+    PutVarint(&out, truth.hot_bytes);
+    PutF64(&out, truth.hot_prob_read);
+    PutF64(&out, truth.hot_prob_write);
+  }
+
+  PutVarint(&out, result.faults.issued);
+  PutVarint(&out, result.faults.completed);
+  PutVarint(&out, result.faults.timed_out);
+  PutVarint(&out, result.faults.retries);
+  PutVarint(&out, result.faults.failovers);
+  PutVarint(&out, result.faults.slowed);
+  PutVarint(&out, result.faults.hiccuped);
+  PutVarint(&out, result.faults.degraded_steps);
+  return out;
+}
+
+void DecodeMetricsSection(ByteReader reader, const TraceStoreMeta& meta,
+                          WorkloadResult* result) {
+  uint64_t window_steps = 0;
+  double step_seconds = 0.0;
+  if (!reader.GetVarint(&window_steps) || !reader.GetF64(&step_seconds)) {
+    DecodeFail("metrics section header overrun");
+  }
+  if (window_steps != meta.window_steps || step_seconds != meta.step_seconds) {
+    DecodeFail("metrics section window disagrees with the file header");
+  }
+  const size_t steps = static_cast<size_t>(window_steps);
+  MetricDataset& metrics = result->metrics;
+  metrics.window_steps = steps;
+  metrics.step_seconds = step_seconds;
+
+  uint64_t qp_count = 0;
+  if (!reader.GetVarint(&qp_count)) {
+    DecodeFail("metrics qp count overrun");
+  }
+  metrics.qp_series.clear();
+  metrics.qp_series.reserve(static_cast<size_t>(qp_count));
+  for (uint64_t i = 0; i < qp_count; ++i) {
+    metrics.qp_series.push_back(DecodeRwSeries(&reader, steps, step_seconds));
+  }
+
+  uint64_t segment_count = 0;
+  if (!reader.GetVarint(&segment_count)) {
+    DecodeFail("metrics segment count overrun");
+  }
+  metrics.segment_series.clear();
+  uint64_t prev_id = 0;
+  for (uint64_t i = 0; i < segment_count; ++i) {
+    uint64_t id = 0;
+    if (!reader.GetVarint(&id) || id > std::numeric_limits<uint32_t>::max()) {
+      DecodeFail("metrics segment id overrun");
+    }
+    if (i > 0 && id <= prev_id) {
+      DecodeFail("metrics segment ids not strictly ascending");
+    }
+    prev_id = id;
+    metrics.segment_series.emplace(static_cast<uint32_t>(id),
+                                   DecodeRwSeries(&reader, steps, step_seconds));
+  }
+
+  uint64_t vd_count = 0;
+  if (!reader.GetVarint(&vd_count)) {
+    DecodeFail("metrics offered-vd count overrun");
+  }
+  result->offered_vd.clear();
+  result->offered_vd.reserve(static_cast<size_t>(vd_count));
+  for (uint64_t i = 0; i < vd_count; ++i) {
+    result->offered_vd.push_back(DecodeRwSeries(&reader, steps, step_seconds));
+  }
+
+  uint64_t truth_count = 0;
+  if (!reader.GetVarint(&truth_count)) {
+    DecodeFail("metrics truth count overrun");
+  }
+  result->vd_truth.clear();
+  result->vd_truth.reserve(static_cast<size_t>(truth_count));
+  for (uint64_t i = 0; i < truth_count; ++i) {
+    VdGroundTruth truth;
+    uint8_t flags = 0;
+    uint64_t hot_offset = 0;
+    uint64_t hot_bytes = 0;
+    if (!reader.GetByte(&flags) || !reader.GetF64(&truth.mean_read_bps) ||
+        !reader.GetF64(&truth.mean_write_bps) || !reader.GetVarint(&hot_offset) ||
+        !reader.GetVarint(&hot_bytes) || !reader.GetF64(&truth.hot_prob_read) ||
+        !reader.GetF64(&truth.hot_prob_write)) {
+      DecodeFail("metrics truth record overrun");
+    }
+    truth.read_active = (flags & 1) != 0;
+    truth.write_active = (flags & 2) != 0;
+    truth.hot_offset = hot_offset;
+    truth.hot_bytes = hot_bytes;
+    result->vd_truth.push_back(truth);
+  }
+
+  FaultStats& faults = result->faults;
+  if (!reader.GetVarint(&faults.issued) || !reader.GetVarint(&faults.completed) ||
+      !reader.GetVarint(&faults.timed_out) || !reader.GetVarint(&faults.retries) ||
+      !reader.GetVarint(&faults.failovers) || !reader.GetVarint(&faults.slowed) ||
+      !reader.GetVarint(&faults.hiccuped) || !reader.GetVarint(&faults.degraded_steps)) {
+    DecodeFail("metrics fault stats overrun");
+  }
+  if (!reader.exhausted()) {
+    DecodeFail("trailing bytes after metrics section");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TraceStoreWriter.
+// ---------------------------------------------------------------------------
+
+TraceStoreWriter::TraceStoreWriter(const std::string& path, const TraceStoreMeta& meta,
+                                   TraceStoreOptions options)
+    : meta_(meta), options_(options) {
+  if (options_.chunk_records == 0) {
+    options_.chunk_records = 1;
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return;
+  }
+  ok_ = true;
+  std::vector<uint8_t> header;
+  PutU32(&header, kStoreMagic);
+  PutU32(&header, kStoreVersion);
+  uint32_t flags = 0;
+  if (options_.precision == StorePrecision::kExport) {
+    flags |= kStoreFlagExportPrecision;
+  }
+  PutU32(&header, flags);
+  PutU32(&header, static_cast<uint32_t>(options_.chunk_records));
+  PutF64(&header, meta_.sampling_rate);
+  PutF64(&header, meta_.window_seconds);
+  PutF64(&header, meta_.step_seconds);
+  PutU32(&header, meta_.window_steps);
+  PutU32(&header, Crc32(header));
+  WriteRaw(header.data(), header.size());
+}
+
+TraceStoreWriter::~TraceStoreWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);  // unfinished file: invalid by construction, no footer
+  }
+}
+
+bool TraceStoreWriter::WriteRaw(const void* data, size_t size) {
+  if (!ok_) {
+    return false;
+  }
+  if (std::fwrite(data, 1, size, file_) != size || std::ferror(file_) != 0) {
+    ok_ = false;
+    return false;
+  }
+  offset_ += size;
+  return true;
+}
+
+bool TraceStoreWriter::Append(const TraceRecord& record, uint32_t step) {
+  if (!ok()) {
+    return false;
+  }
+  if (step >= meta_.window_steps || (records_written_ > 0 && step < last_step_)) {
+    ok_ = false;  // caller contract: steps non-decreasing and inside the window
+    return false;
+  }
+  last_step_ = step;
+  pending_.push_back(record);
+  pending_steps_.push_back(step);
+  ++records_written_;
+  if (pending_.size() >= options_.chunk_records) {
+    return FlushChunk();
+  }
+  return true;
+}
+
+bool TraceStoreWriter::FlushChunk() {
+  if (pending_.empty()) {
+    return ok_;
+  }
+  const std::vector<uint8_t> payload =
+      EncodeChunkPayload(pending_, pending_steps_, options_.precision);
+  std::vector<uint8_t> header;
+  PutU32(&header, static_cast<uint32_t>(pending_.size()));
+  PutU32(&header, static_cast<uint32_t>(payload.size()));
+  PutU32(&header, Crc32(payload));
+  index_.push_back({offset_, static_cast<uint32_t>(pending_.size())});
+  pending_.clear();
+  pending_steps_.clear();
+  return WriteRaw(header.data(), header.size()) && WriteRaw(payload.data(), payload.size());
+}
+
+bool TraceStoreWriter::Finish() { return FinishImpl(nullptr); }
+
+bool TraceStoreWriter::Finish(const WorkloadResult& result) { return FinishImpl(&result); }
+
+bool TraceStoreWriter::FinishImpl(const WorkloadResult* result) {
+  if (!ok()) {
+    return false;
+  }
+  finished_ = true;
+  FlushChunk();
+
+  uint64_t metrics_offset = 0;
+  uint64_t metrics_size = 0;
+  uint32_t metrics_crc = 0;
+  if (result != nullptr && ok_) {
+    const std::vector<uint8_t> section = EncodeMetricsSection(*result);
+    metrics_offset = offset_;
+    metrics_size = section.size();
+    metrics_crc = Crc32(section);
+    WriteRaw(section.data(), section.size());
+  }
+
+  std::vector<uint8_t> footer;
+  PutVarint(&footer, records_written_);
+  PutVarint(&footer, index_.size());
+  uint64_t prev_offset = 0;
+  for (const ChunkIndexEntry& entry : index_) {
+    PutVarint(&footer, entry.offset - prev_offset);
+    PutVarint(&footer, entry.records);
+    prev_offset = entry.offset;
+  }
+  PutVarint(&footer, metrics_offset);
+  PutVarint(&footer, metrics_size);
+  PutU32(&footer, metrics_crc);
+
+  const uint64_t footer_offset = offset_;
+  WriteRaw(footer.data(), footer.size());
+
+  std::vector<uint8_t> trailer;
+  PutU64(&trailer, footer_offset);
+  PutU64(&trailer, footer.size());
+  PutU32(&trailer, Crc32(footer));
+  PutU32(&trailer, kStoreTrailerMagic);
+  WriteRaw(trailer.data(), trailer.size());
+
+  // The CSV exporters' close contract: ferror catches mid-run write failures,
+  // the fclose result catches data lost in the final flush (e.g. disk full).
+  std::FILE* raw = file_;
+  file_ = nullptr;
+  const bool wrote_ok = ok_ && std::ferror(raw) == 0;
+  const bool closed_ok = std::fclose(raw) == 0;
+  ok_ = false;
+  return wrote_ok && closed_ok;
+}
+
+bool WriteDatasetToStore(const std::string& path, const TraceDataset& traces,
+                         double step_seconds, uint32_t window_steps,
+                         TraceStoreOptions options) {
+  TraceStoreMeta meta;
+  meta.sampling_rate = traces.sampling_rate;
+  meta.window_seconds = traces.window_seconds;
+  meta.step_seconds = step_seconds;
+  meta.window_steps = window_steps;
+  TraceStoreWriter writer(path, meta, options);
+  uint32_t prev_step = 0;
+  for (const TraceRecord& record : traces.records) {
+    uint32_t step = 0;
+    if (step_seconds > 0.0 && record.timestamp > 0.0) {
+      const double raw = std::floor(record.timestamp / step_seconds);
+      step = raw >= static_cast<double>(window_steps)
+                 ? (window_steps == 0 ? 0 : window_steps - 1)
+                 : static_cast<uint32_t>(raw);
+    }
+    step = std::max(step, prev_step);  // generator timestamps never regress a step
+    prev_step = step;
+    if (!writer.Append(record, step)) {
+      return false;
+    }
+  }
+  return writer.Finish();
+}
+
+bool WriteWorkloadToStore(const std::string& path, const WorkloadResult& result,
+                          double step_seconds, TraceStoreOptions options) {
+  TraceStoreMeta meta;
+  meta.sampling_rate = result.traces.sampling_rate;
+  meta.window_seconds = result.traces.window_seconds;
+  meta.step_seconds = step_seconds;
+  meta.window_steps = static_cast<uint32_t>(result.metrics.window_steps);
+  TraceStoreWriter writer(path, meta, options);
+  uint32_t prev_step = 0;
+  for (const TraceRecord& record : result.traces.records) {
+    uint32_t step = 0;
+    if (step_seconds > 0.0 && record.timestamp > 0.0) {
+      const double raw = std::floor(record.timestamp / step_seconds);
+      step = raw >= static_cast<double>(meta.window_steps)
+                 ? (meta.window_steps == 0 ? 0 : meta.window_steps - 1)
+                 : static_cast<uint32_t>(raw);
+    }
+    step = std::max(step, prev_step);
+    prev_step = step;
+    if (!writer.Append(record, step)) {
+      return false;
+    }
+  }
+  return writer.Finish(result);
+}
+
+// ---------------------------------------------------------------------------
+// TraceStoreReader.
+// ---------------------------------------------------------------------------
+
+TraceStoreReader::TraceStoreReader(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    throw TraceStoreError(StoreErrorCode::kIoError, "cannot open " + path);
+  }
+  try {
+    if (std::fseek(file_, 0, SEEK_END) != 0) {
+      throw TraceStoreError(StoreErrorCode::kIoError, "seek to end failed");
+    }
+    const long end = std::ftell(file_);
+    if (end < 0) {
+      throw TraceStoreError(StoreErrorCode::kIoError, "ftell failed");
+    }
+    info_.file_bytes = static_cast<uint64_t>(end);
+    if (info_.file_bytes < kStoreHeaderBytes + kStoreTrailerBytes) {
+      throw TraceStoreError(StoreErrorCode::kTruncated,
+                            "file smaller than header + trailer");
+    }
+
+    // Trailer -> footer -> header, CRC-checking each hop.
+    uint8_t trailer_bytes[kStoreTrailerBytes];
+    ReadAt(info_.file_bytes - kStoreTrailerBytes, trailer_bytes, kStoreTrailerBytes);
+    ByteReader trailer(trailer_bytes, kStoreTrailerBytes);
+    uint64_t footer_offset = 0;
+    uint64_t footer_size = 0;
+    uint32_t footer_crc = 0;
+    uint32_t trailer_magic = 0;
+    trailer.GetU64(&footer_offset);
+    trailer.GetU64(&footer_size);
+    trailer.GetU32(&footer_crc);
+    trailer.GetU32(&trailer_magic);
+    if (trailer_magic != kStoreTrailerMagic) {
+      throw TraceStoreError(StoreErrorCode::kBadMagic, "trailer magic mismatch");
+    }
+    if (footer_offset < kStoreHeaderBytes ||
+        footer_size > info_.file_bytes - kStoreTrailerBytes ||
+        footer_offset > info_.file_bytes - kStoreTrailerBytes - footer_size) {
+      throw TraceStoreError(StoreErrorCode::kFooterCorrupt, "footer range out of bounds");
+    }
+
+    std::vector<uint8_t> footer_bytes(static_cast<size_t>(footer_size));
+    ReadAt(footer_offset, footer_bytes.data(), footer_bytes.size());
+    if (Crc32(footer_bytes) != footer_crc) {
+      throw TraceStoreError(StoreErrorCode::kFooterCorrupt, "footer CRC mismatch");
+    }
+
+    uint8_t header_bytes[kStoreHeaderBytes];
+    ReadAt(0, header_bytes, kStoreHeaderBytes);
+    if (Crc32(header_bytes, kStoreHeaderBytes - 4) !=
+        (static_cast<uint32_t>(header_bytes[44]) |
+         static_cast<uint32_t>(header_bytes[45]) << 8 |
+         static_cast<uint32_t>(header_bytes[46]) << 16 |
+         static_cast<uint32_t>(header_bytes[47]) << 24)) {
+      throw TraceStoreError(StoreErrorCode::kHeaderCorrupt, "header CRC mismatch");
+    }
+    ByteReader header(header_bytes, kStoreHeaderBytes);
+    uint32_t magic = 0;
+    uint32_t flags = 0;
+    uint32_t chunk_target = 0;
+    header.GetU32(&magic);
+    header.GetU32(&info_.version);
+    header.GetU32(&flags);
+    header.GetU32(&chunk_target);
+    header.GetF64(&info_.meta.sampling_rate);
+    header.GetF64(&info_.meta.window_seconds);
+    header.GetF64(&info_.meta.step_seconds);
+    uint32_t window_steps = 0;
+    header.GetU32(&window_steps);
+    info_.meta.window_steps = window_steps;
+    if (magic != kStoreMagic) {
+      throw TraceStoreError(StoreErrorCode::kBadMagic, "header magic mismatch");
+    }
+    if (info_.version != kStoreVersion) {
+      throw TraceStoreError(StoreErrorCode::kBadVersion,
+                            "unsupported version " + std::to_string(info_.version));
+    }
+    if ((flags & ~(kStoreFlagExportPrecision | kStoreFlagHasMetrics)) != 0) {
+      throw TraceStoreError(StoreErrorCode::kHeaderCorrupt, "unknown header flags");
+    }
+    info_.precision = (flags & kStoreFlagExportPrecision) != 0 ? StorePrecision::kExport
+                                                               : StorePrecision::kExact;
+
+    ByteReader footer(footer_bytes.data(), footer_bytes.size());
+    uint64_t chunk_count = 0;
+    if (!footer.GetVarint(&info_.record_count) || !footer.GetVarint(&chunk_count)) {
+      throw TraceStoreError(StoreErrorCode::kFooterCorrupt, "footer counts overrun");
+    }
+    if (chunk_count > info_.file_bytes / kStoreChunkHeaderBytes) {
+      throw TraceStoreError(StoreErrorCode::kFooterCorrupt, "implausible chunk count");
+    }
+    chunks_.reserve(static_cast<size_t>(chunk_count));
+    uint64_t prev_offset = 0;
+    uint64_t records_total = 0;
+    for (uint64_t i = 0; i < chunk_count; ++i) {
+      uint64_t offset_delta = 0;
+      uint64_t records = 0;
+      if (!footer.GetVarint(&offset_delta) || !footer.GetVarint(&records)) {
+        throw TraceStoreError(StoreErrorCode::kFooterCorrupt, "chunk index overrun");
+      }
+      const uint64_t offset = prev_offset + offset_delta;
+      if (records == 0 || records > std::numeric_limits<uint32_t>::max() ||
+          offset < kStoreHeaderBytes || (i > 0 && offset <= prev_offset) ||
+          offset + kStoreChunkHeaderBytes > footer_offset) {
+        throw TraceStoreError(StoreErrorCode::kFooterCorrupt, "chunk index entry invalid");
+      }
+      prev_offset = offset;
+      records_total += records;
+      chunks_.push_back({offset, static_cast<uint32_t>(records)});
+    }
+    if (records_total != info_.record_count) {
+      throw TraceStoreError(StoreErrorCode::kFooterCorrupt,
+                            "chunk index disagrees with record count");
+    }
+    if (info_.record_count > 0 && info_.meta.window_steps == 0) {
+      throw TraceStoreError(StoreErrorCode::kHeaderCorrupt,
+                            "records present but window_steps is zero");
+    }
+    if (!footer.GetVarint(&footer_.metrics_offset) ||
+        !footer.GetVarint(&footer_.metrics_size) || !footer.GetU32(&footer_.metrics_crc) ||
+        !footer.exhausted()) {
+      throw TraceStoreError(StoreErrorCode::kFooterCorrupt, "footer metrics range overrun");
+    }
+    if (footer_.metrics_offset != 0) {
+      if (footer_.metrics_offset < kStoreHeaderBytes ||
+          footer_.metrics_size > footer_offset ||
+          footer_.metrics_offset > footer_offset - footer_.metrics_size) {
+        throw TraceStoreError(StoreErrorCode::kFooterCorrupt,
+                              "metrics range out of bounds");
+      }
+      info_.has_metrics = true;
+    }
+    info_.chunk_count = chunks_.size();
+  } catch (...) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw;
+  }
+}
+
+TraceStoreReader::~TraceStoreReader() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void TraceStoreReader::ReadAt(uint64_t offset, void* out, size_t size) const {
+  if (offset > info_.file_bytes || size > info_.file_bytes - offset) {
+    throw TraceStoreError(StoreErrorCode::kTruncated, "read past end of file");
+  }
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    throw TraceStoreError(StoreErrorCode::kIoError, "seek failed");
+  }
+  if (std::fread(out, 1, size, file_) != size) {
+    throw TraceStoreError(std::ferror(file_) != 0 ? StoreErrorCode::kIoError
+                                                  : StoreErrorCode::kTruncated,
+                          "short read");
+  }
+}
+
+uint64_t TraceStoreReader::ChunkEndBoundary(size_t index) const {
+  if (index + 1 < chunks_.size()) {
+    return chunks_[index + 1].offset;
+  }
+  if (footer_.metrics_offset != 0) {
+    return footer_.metrics_offset;
+  }
+  return info_.file_bytes;  // footer range is validated against the trailer
+}
+
+void TraceStoreReader::ReadChunk(size_t index, std::vector<TraceRecord>* records,
+                                 std::vector<uint32_t>* steps) const {
+  if (index >= chunks_.size()) {
+    throw std::out_of_range("trace store: chunk index out of range");
+  }
+  const StoreChunkInfo& entry = chunks_[index];
+  uint8_t header_bytes[kStoreChunkHeaderBytes];
+  ReadAt(entry.offset, header_bytes, kStoreChunkHeaderBytes);
+  ByteReader header(header_bytes, kStoreChunkHeaderBytes);
+  uint32_t record_count = 0;
+  uint32_t payload_size = 0;
+  uint32_t payload_crc = 0;
+  header.GetU32(&record_count);
+  header.GetU32(&payload_size);
+  header.GetU32(&payload_crc);
+  if (record_count != entry.records) {
+    throw TraceStoreError(StoreErrorCode::kChunkCorrupt,
+                          "chunk header disagrees with footer index");
+  }
+  const uint64_t payload_end = entry.offset + kStoreChunkHeaderBytes + payload_size;
+  if (payload_end > ChunkEndBoundary(index)) {
+    throw TraceStoreError(StoreErrorCode::kChunkCorrupt, "chunk payload overruns section");
+  }
+  std::vector<uint8_t> payload(payload_size);
+  ReadAt(entry.offset + kStoreChunkHeaderBytes, payload.data(), payload.size());
+  if (Crc32(payload) != payload_crc) {
+    throw TraceStoreError(StoreErrorCode::kChunkCorrupt, "chunk CRC mismatch");
+  }
+  DecodeChunkPayload(ByteReader(payload.data(), payload.size()), record_count,
+                     info_.meta.window_steps, records, steps);
+}
+
+TraceDataset TraceStoreReader::ReadAll() const {
+  TraceDataset dataset;
+  dataset.window_seconds = info_.meta.window_seconds;
+  dataset.sampling_rate = info_.meta.sampling_rate;
+  dataset.records.reserve(static_cast<size_t>(info_.record_count));
+  for (size_t i = 0; i < chunks_.size(); ++i) {
+    ReadChunk(i, &dataset.records);
+  }
+  return dataset;
+}
+
+void TraceStoreReader::ReadMetricsInto(WorkloadResult* result) const {
+  if (!info_.has_metrics) {
+    throw TraceStoreError(StoreErrorCode::kNoMetrics,
+                          "store was written without a metrics section");
+  }
+  std::vector<uint8_t> section(static_cast<size_t>(footer_.metrics_size));
+  ReadAt(footer_.metrics_offset, section.data(), section.size());
+  if (Crc32(section) != footer_.metrics_crc) {
+    throw TraceStoreError(StoreErrorCode::kChunkCorrupt, "metrics section CRC mismatch");
+  }
+  DecodeMetricsSection(ByteReader(section.data(), section.size()), info_.meta, result);
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+inline uint64_t FnvMix(uint64_t hash, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xFFu;
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+// A double at export precision: its fixed-point grid value when
+// representable, its raw bit pattern (tagged) otherwise.
+inline uint64_t ExportKey(double value, double scale) {
+  int64_t q = 0;
+  if (QuantizeScaled(value, scale, &q)) {
+    return ZigzagEncode(q);
+  }
+  return BitsOf(value) | (1ull << 63);
+}
+
+}  // namespace
+
+uint64_t AggregateFingerprint(const TraceDataset& traces) {
+  uint64_t hash = 0xCBF29CE484222325ull;
+  hash = FnvMix(hash, traces.records.size());
+  for (const TraceRecord& r : traces.records) {
+    hash = FnvMix(hash, ExportKey(r.timestamp, kMicrosPerSecond));
+    hash = FnvMix(hash, static_cast<uint64_t>(r.op));
+    hash = FnvMix(hash, r.size_bytes);
+    hash = FnvMix(hash, r.offset);
+    hash = FnvMix(hash, r.user.value());
+    hash = FnvMix(hash, r.vm.value());
+    hash = FnvMix(hash, r.vd.value());
+    hash = FnvMix(hash, r.qp.value());
+    hash = FnvMix(hash, r.wt.value());
+    hash = FnvMix(hash, r.cn.value());
+    hash = FnvMix(hash, r.segment.value());
+    hash = FnvMix(hash, r.bs.value());
+    hash = FnvMix(hash, r.sn.value());
+    for (int c = 0; c < kStackComponentCount; ++c) {
+      hash = FnvMix(hash, ExportKey(r.latency.component_us[c], kCentiPerMicro));
+    }
+    hash = FnvMix(hash, static_cast<uint64_t>(r.fault_retries) |
+                            (r.fault_timed_out ? 1ull << 8 : 0) |
+                            (r.fault_failed_over ? 1ull << 9 : 0));
+  }
+  return hash;
+}
+
+}  // namespace ebs

@@ -1,0 +1,684 @@
+// EBST trace store test battery: wire-primitive units, round-trip property
+// tests (empty / single-record chunks / extreme values / fault annotations),
+// the metrics-section round trip, the checked-write contract (including
+// /dev/full), a golden-corpus pin, the CSV size gate, and the corruption
+// suite — truncation at every length and a byte-flip sweep over a full
+// replayable file, asserting every mutation surfaces as a typed
+// TraceStoreError (run under ASan/UBSan in CI).
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/simulation.h"
+#include "src/trace/csv_export.h"
+#include "src/trace/format.h"
+#include "src/trace/store.h"
+#include "src/workload/generator.h"
+
+namespace ebs {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+uint64_t FileSize(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return 0;
+  }
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fclose(file);
+  return size < 0 ? 0 : static_cast<uint64_t>(size);
+}
+
+bool DevFullAvailable() {
+  std::FILE* probe = std::fopen("/dev/full", "w");
+  if (probe == nullptr) {
+    return false;
+  }
+  std::fclose(probe);
+  return true;
+}
+
+void ExpectRecordsBitIdentical(const std::vector<TraceRecord>& got,
+                               const std::vector<TraceRecord>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    const TraceRecord& g = got[i];
+    const TraceRecord& w = want[i];
+    ASSERT_EQ(Bits(g.timestamp), Bits(w.timestamp)) << "record " << i;
+    ASSERT_EQ(g.op, w.op) << "record " << i;
+    ASSERT_EQ(g.size_bytes, w.size_bytes) << "record " << i;
+    ASSERT_EQ(g.offset, w.offset) << "record " << i;
+    ASSERT_EQ(g.user.value(), w.user.value()) << "record " << i;
+    ASSERT_EQ(g.vm.value(), w.vm.value()) << "record " << i;
+    ASSERT_EQ(g.vd.value(), w.vd.value()) << "record " << i;
+    ASSERT_EQ(g.qp.value(), w.qp.value()) << "record " << i;
+    ASSERT_EQ(g.wt.value(), w.wt.value()) << "record " << i;
+    ASSERT_EQ(g.cn.value(), w.cn.value()) << "record " << i;
+    ASSERT_EQ(g.segment.value(), w.segment.value()) << "record " << i;
+    ASSERT_EQ(g.bs.value(), w.bs.value()) << "record " << i;
+    ASSERT_EQ(g.sn.value(), w.sn.value()) << "record " << i;
+    for (int c = 0; c < kStackComponentCount; ++c) {
+      ASSERT_EQ(Bits(g.latency.component_us[c]), Bits(w.latency.component_us[c]))
+          << "record " << i << " component " << c;
+    }
+    ASSERT_EQ(g.fault_retries, w.fault_retries) << "record " << i;
+    ASSERT_EQ(g.fault_timed_out, w.fault_timed_out) << "record " << i;
+    ASSERT_EQ(g.fault_failed_over, w.fault_failed_over) << "record " << i;
+  }
+}
+
+void ExpectRwSeriesEqual(const RwSeries& a, const RwSeries& b, const char* what) {
+  ASSERT_EQ(a.read_bytes.size(), b.read_bytes.size()) << what;
+  for (size_t t = 0; t < a.read_bytes.size(); ++t) {
+    ASSERT_EQ(Bits(a.read_bytes[t]), Bits(b.read_bytes[t])) << what << " step " << t;
+    ASSERT_EQ(Bits(a.write_bytes[t]), Bits(b.write_bytes[t])) << what << " step " << t;
+    ASSERT_EQ(Bits(a.read_ops[t]), Bits(b.read_ops[t])) << what << " step " << t;
+    ASSERT_EQ(Bits(a.write_ops[t]), Bits(b.write_ops[t])) << what << " step " << t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wire primitives.
+// ---------------------------------------------------------------------------
+
+TEST(StoreFormatTest, VarintRoundTripsAndRejectsOverlongEncodings) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             300,
+                             (1ull << 35) - 7,
+                             std::numeric_limits<uint64_t>::max()};
+  for (const uint64_t v : values) {
+    std::vector<uint8_t> buf;
+    PutVarint(&buf, v);
+    ByteReader reader(buf.data(), buf.size());
+    uint64_t got = 0;
+    ASSERT_TRUE(reader.GetVarint(&got));
+    EXPECT_EQ(got, v);
+    EXPECT_TRUE(reader.exhausted());
+  }
+
+  // 0 encoded with a redundant 10th continuation byte: over-long, rejected.
+  const uint8_t overlong[] = {0x80, 0x80, 0x80, 0x80, 0x80,
+                              0x80, 0x80, 0x80, 0x80, 0x00};
+  ByteReader reader(overlong, sizeof(overlong));
+  uint64_t out = 0;
+  EXPECT_FALSE(reader.GetVarint(&out));
+
+  // A 10th byte carrying more than the top bit of the u64 would overflow.
+  const uint8_t overflowing[] = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                                 0xFF, 0xFF, 0xFF, 0xFF, 0x02};
+  ByteReader reader2(overflowing, sizeof(overflowing));
+  EXPECT_FALSE(reader2.GetVarint(&out));
+
+  // Truncated mid-varint.
+  const uint8_t truncated[] = {0xFF, 0xFF};
+  ByteReader reader3(truncated, sizeof(truncated));
+  EXPECT_FALSE(reader3.GetVarint(&out));
+}
+
+TEST(StoreFormatTest, ZigzagRoundTripsAtExtremes) {
+  const int64_t values[] = {0, 1, -1, 2, -2, 1234567, -1234567,
+                            std::numeric_limits<int64_t>::max(),
+                            std::numeric_limits<int64_t>::min()};
+  for (const int64_t v : values) {
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(v)), v);
+    std::vector<uint8_t> buf;
+    PutZigzag(&buf, v);
+    ByteReader reader(buf.data(), buf.size());
+    int64_t got = 0;
+    ASSERT_TRUE(reader.GetZigzag(&got));
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(StoreFormatTest, Crc32MatchesKnownVector) {
+  const char* check = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const uint8_t*>(check), 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(StoreFormatTest, QuantizeScaledGuardsNonRepresentableValues) {
+  int64_t q = 0;
+  EXPECT_TRUE(QuantizeScaled(1.5, kMicrosPerSecond, &q));
+  EXPECT_EQ(q, 1500000);
+  EXPECT_EQ(DequantizeScaled(q, kMicrosPerSecond), 1.5);
+  EXPECT_FALSE(QuantizeScaled(std::nan(""), kMicrosPerSecond, &q));
+  EXPECT_FALSE(QuantizeScaled(std::numeric_limits<double>::infinity(),
+                              kMicrosPerSecond, &q));
+  EXPECT_FALSE(QuantizeScaled(1e300, kMicrosPerSecond, &q));
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip property tests on a generated workload.
+// ---------------------------------------------------------------------------
+
+class TraceStoreFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    FleetConfig fleet_config;
+    fleet_config.seed = 21;
+    fleet_config.user_count = 8;
+    fleet_ = new Fleet(BuildFleet(fleet_config));
+    WorkloadConfig config;
+    config.seed = 22;
+    config.window_steps = 40;
+    result_ = new WorkloadResult(WorkloadGenerator(*fleet_, config).Generate());
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete fleet_;
+    result_ = nullptr;
+    fleet_ = nullptr;
+  }
+
+  static Fleet* fleet_;
+  static WorkloadResult* result_;
+};
+
+Fleet* TraceStoreFixture::fleet_ = nullptr;
+WorkloadResult* TraceStoreFixture::result_ = nullptr;
+
+TEST_F(TraceStoreFixture, ExactRoundTripIsBitIdentical) {
+  const std::string path = TempPath("rt_exact.ebst");
+  ASSERT_TRUE(WriteDatasetToStore(path, result_->traces, 1.0, 40,
+                                  {.precision = StorePrecision::kExact}));
+  const TraceStoreReader reader(path);
+  EXPECT_EQ(reader.info().precision, StorePrecision::kExact);
+  EXPECT_EQ(reader.info().record_count, result_->traces.records.size());
+  EXPECT_FALSE(reader.info().has_metrics);
+  const TraceDataset decoded = reader.ReadAll();
+  std::remove(path.c_str());
+  EXPECT_EQ(Bits(decoded.sampling_rate), Bits(result_->traces.sampling_rate));
+  EXPECT_EQ(Bits(decoded.window_seconds), Bits(result_->traces.window_seconds));
+  ExpectRecordsBitIdentical(decoded.records, result_->traces.records);
+}
+
+TEST_F(TraceStoreFixture, ExportRoundTripKeepsCsvFidelityAndFingerprint) {
+  const std::string path = TempPath("rt_export.ebst");
+  ASSERT_TRUE(WriteDatasetToStore(path, result_->traces, 1.0, 40,
+                                  {.precision = StorePrecision::kExport}));
+  const TraceStoreReader reader(path);
+  EXPECT_EQ(reader.info().precision, StorePrecision::kExport);
+  const TraceDataset decoded = reader.ReadAll();
+  std::remove(path.c_str());
+
+  // The identity contract: export precision preserves the fingerprint (it is
+  // defined at exactly this fidelity) ...
+  EXPECT_EQ(AggregateFingerprint(decoded), AggregateFingerprint(result_->traces));
+
+  // ... and every decoded value is the original rounded to the CSV grid.
+  ASSERT_EQ(decoded.records.size(), result_->traces.records.size());
+  for (size_t i = 0; i < decoded.records.size(); ++i) {
+    const TraceRecord& g = decoded.records[i];
+    const TraceRecord& w = result_->traces.records[i];
+    EXPECT_EQ(g.timestamp, std::llround(w.timestamp * kMicrosPerSecond) / kMicrosPerSecond)
+        << "record " << i;
+    EXPECT_EQ(g.offset, w.offset) << "record " << i;
+    EXPECT_EQ(g.size_bytes, w.size_bytes) << "record " << i;
+    for (int c = 0; c < kStackComponentCount; ++c) {
+      EXPECT_EQ(g.latency.component_us[c],
+                std::llround(w.latency.component_us[c] * kCentiPerMicro) / kCentiPerMicro)
+          << "record " << i << " component " << c;
+    }
+  }
+}
+
+TEST_F(TraceStoreFixture, EmptyDatasetRoundTrips) {
+  const std::string path = TempPath("rt_empty.ebst");
+  TraceDataset empty;
+  ASSERT_TRUE(WriteDatasetToStore(path, empty, 1.0, 0));
+  const TraceStoreReader reader(path);
+  EXPECT_EQ(reader.info().record_count, 0u);
+  EXPECT_EQ(reader.info().chunk_count, 0u);
+  EXPECT_TRUE(reader.ReadAll().records.empty());
+  WorkloadResult result;
+  EXPECT_THROW(reader.ReadMetricsInto(&result), TraceStoreError);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceStoreFixture, SingleRecordChunksRoundTrip) {
+  const std::string path = TempPath("rt_single.ebst");
+  ASSERT_TRUE(WriteDatasetToStore(
+      path, result_->traces, 1.0, 40,
+      {.precision = StorePrecision::kExact, .chunk_records = 1}));
+  const TraceStoreReader reader(path);
+  ASSERT_EQ(reader.info().chunk_count, result_->traces.records.size());
+  // Random access decodes any chunk independently.
+  std::vector<TraceRecord> records;
+  std::vector<uint32_t> steps;
+  reader.ReadChunk(reader.chunks().size() / 2, &records, &steps);
+  ASSERT_EQ(records.size(), 1u);
+  ASSERT_EQ(steps.size(), 1u);
+  const TraceDataset decoded = reader.ReadAll();
+  std::remove(path.c_str());
+  ExpectRecordsBitIdentical(decoded.records, result_->traces.records);
+}
+
+TEST_F(TraceStoreFixture, MetricsSectionRoundTripsExactly) {
+  const std::string path = TempPath("rt_metrics.ebst");
+  ASSERT_TRUE(WriteWorkloadToStore(path, *result_, 1.0,
+                                   {.precision = StorePrecision::kExact}));
+  const TraceStoreReader reader(path);
+  ASSERT_TRUE(reader.info().has_metrics);
+
+  WorkloadResult got;
+  reader.ReadMetricsInto(&got);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(got.metrics.window_steps, result_->metrics.window_steps);
+  EXPECT_EQ(got.metrics.step_seconds, result_->metrics.step_seconds);
+  ASSERT_EQ(got.metrics.qp_series.size(), result_->metrics.qp_series.size());
+  for (size_t q = 0; q < got.metrics.qp_series.size(); ++q) {
+    ExpectRwSeriesEqual(got.metrics.qp_series[q], result_->metrics.qp_series[q], "qp");
+  }
+  ASSERT_EQ(got.metrics.segment_series.size(), result_->metrics.segment_series.size());
+  for (const auto& [seg, series] : result_->metrics.segment_series) {
+    auto it = got.metrics.segment_series.find(seg);
+    ASSERT_NE(it, got.metrics.segment_series.end()) << "segment " << seg;
+    ExpectRwSeriesEqual(it->second, series, "segment");
+  }
+  ASSERT_EQ(got.offered_vd.size(), result_->offered_vd.size());
+  for (size_t v = 0; v < got.offered_vd.size(); ++v) {
+    ExpectRwSeriesEqual(got.offered_vd[v], result_->offered_vd[v], "offered_vd");
+  }
+  ASSERT_EQ(got.vd_truth.size(), result_->vd_truth.size());
+  for (size_t v = 0; v < got.vd_truth.size(); ++v) {
+    const VdGroundTruth& g = got.vd_truth[v];
+    const VdGroundTruth& w = result_->vd_truth[v];
+    EXPECT_EQ(g.read_active, w.read_active) << "vd " << v;
+    EXPECT_EQ(g.write_active, w.write_active) << "vd " << v;
+    EXPECT_EQ(Bits(g.mean_read_bps), Bits(w.mean_read_bps)) << "vd " << v;
+    EXPECT_EQ(Bits(g.mean_write_bps), Bits(w.mean_write_bps)) << "vd " << v;
+    EXPECT_EQ(g.hot_offset, w.hot_offset) << "vd " << v;
+    EXPECT_EQ(g.hot_bytes, w.hot_bytes) << "vd " << v;
+    EXPECT_EQ(Bits(g.hot_prob_read), Bits(w.hot_prob_read)) << "vd " << v;
+    EXPECT_EQ(Bits(g.hot_prob_write), Bits(w.hot_prob_write)) << "vd " << v;
+  }
+  EXPECT_EQ(got.faults.issued, result_->faults.issued);
+  EXPECT_EQ(got.faults.completed, result_->faults.completed);
+  EXPECT_EQ(got.faults.timed_out, result_->faults.timed_out);
+  EXPECT_EQ(got.faults.retries, result_->faults.retries);
+  EXPECT_EQ(got.faults.failovers, result_->faults.failovers);
+  EXPECT_EQ(got.faults.slowed, result_->faults.slowed);
+  EXPECT_EQ(got.faults.hiccuped, result_->faults.hiccuped);
+  EXPECT_EQ(got.faults.degraded_steps, result_->faults.degraded_steps);
+}
+
+// Extreme and adversarial values, hand-built: UINT64_MAX offsets, UINT32_MAX
+// sizes, non-finite / denormal / negative doubles (which defeat the
+// fixed-point grid and must fall back to the exact encoding even at export
+// precision), and saturated fault annotations.
+TEST(TraceStoreExtremesTest, ExtremeValuesRoundTripAtBothPrecisions) {
+  std::vector<TraceRecord> records;
+  const double doubles[] = {0.0,
+                            -0.0,
+                            1.5,
+                            -273.25,
+                            5e-324,  // smallest denormal
+                            1e300,
+                            std::numeric_limits<double>::infinity(),
+                            -std::numeric_limits<double>::infinity(),
+                            std::nan("")};
+  const uint64_t offsets[] = {0, 511, 512, 4096, 1ull << 40,
+                              std::numeric_limits<uint64_t>::max()};
+  for (size_t i = 0; i < 24; ++i) {
+    TraceRecord r;
+    r.timestamp = doubles[i % (sizeof(doubles) / sizeof(doubles[0]))];
+    r.op = i % 3 == 0 ? OpType::kWrite : OpType::kRead;
+    r.size_bytes = i % 4 == 0 ? std::numeric_limits<uint32_t>::max()
+                              : static_cast<uint32_t>(4096 * i);
+    r.offset = offsets[i % (sizeof(offsets) / sizeof(offsets[0]))];
+    r.user = UserId(static_cast<uint32_t>(i % 2));
+    r.vm = VmId(static_cast<uint32_t>(i % 3));
+    r.vd = VdId(static_cast<uint32_t>(i % 5));
+    r.qp = QpId(static_cast<uint32_t>(i % 7));
+    r.wt = WorkerThreadId(static_cast<uint32_t>(i % 4));
+    r.cn = ComputeNodeId(std::numeric_limits<uint32_t>::max());
+    r.segment = SegmentId(static_cast<uint32_t>(i * 1000));
+    r.bs = BlockServerId(static_cast<uint32_t>(i % 6));
+    r.sn = StorageNodeId(static_cast<uint32_t>(i % 6));
+    for (int c = 0; c < kStackComponentCount; ++c) {
+      r.latency.component_us[c] =
+          doubles[(i + static_cast<size_t>(c)) % (sizeof(doubles) / sizeof(doubles[0]))];
+    }
+    r.fault_retries = i % 2 == 0 ? 255 : static_cast<uint8_t>(i);
+    r.fault_timed_out = i % 3 == 0;
+    r.fault_failed_over = i % 5 == 0;
+    records.push_back(r);
+  }
+
+  for (const auto precision : {StorePrecision::kExact, StorePrecision::kExport}) {
+    const std::string path = TempPath("rt_extreme.ebst");
+    TraceStoreMeta meta;
+    meta.window_steps = 4;
+    meta.window_seconds = 4.0;
+    TraceStoreWriter writer(path, meta, {.precision = precision, .chunk_records = 7});
+    for (size_t i = 0; i < records.size(); ++i) {
+      ASSERT_TRUE(writer.Append(records[i], static_cast<uint32_t>(i / 8)));
+    }
+    ASSERT_TRUE(writer.Finish());
+
+    const TraceStoreReader reader(path);
+    const TraceDataset decoded = reader.ReadAll();
+    std::remove(path.c_str());
+    // Non-finite and out-of-grid values force the per-column exact fallback,
+    // so even the export store reproduces these records bit for bit.
+    ExpectRecordsBitIdentical(decoded.records, records);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Writer contract.
+// ---------------------------------------------------------------------------
+
+TEST_F(TraceStoreFixture, UnopenablePathReturnsFalse) {
+  EXPECT_FALSE(WriteDatasetToStore("/nonexistent-dir/t.ebst", result_->traces, 1.0, 40));
+  TraceStoreMeta meta;
+  meta.window_steps = 40;
+  TraceStoreWriter writer("/nonexistent-dir/t.ebst", meta);
+  EXPECT_FALSE(writer.ok());
+  EXPECT_FALSE(writer.Append(result_->traces.records[0], 0));
+  EXPECT_FALSE(writer.Finish());
+}
+
+TEST_F(TraceStoreFixture, DiskFullFailureIsNotSilent) {
+  // /dev/full absorbs buffered writes and loses them at flush time — the
+  // writer must report that, not pretend the store reached disk.
+  if (!DevFullAvailable()) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  TraceStoreMeta meta;
+  meta.window_steps = 40;
+  TraceStoreWriter writer("/dev/full", meta);
+  bool ok = true;
+  for (const TraceRecord& record : result_->traces.records) {
+    ok = writer.Append(record, 0) && ok;
+  }
+  ok = writer.Finish() && ok;
+  EXPECT_FALSE(ok);
+  EXPECT_FALSE(WriteDatasetToStore("/dev/full", result_->traces, 1.0, 40));
+  EXPECT_FALSE(WriteWorkloadToStore("/dev/full", *result_, 1.0));
+}
+
+TEST_F(TraceStoreFixture, AppendRejectsOutOfWindowAndRegressingSteps) {
+  const std::string path = TempPath("rt_steps.ebst");
+  TraceStoreMeta meta;
+  meta.window_steps = 2;
+  {
+    TraceStoreWriter writer(path, meta);
+    EXPECT_FALSE(writer.Append(result_->traces.records[0], 2));  // >= window_steps
+    EXPECT_FALSE(writer.ok());  // sticky
+    EXPECT_FALSE(writer.Finish());
+  }
+  {
+    TraceStoreWriter writer(path, meta);
+    EXPECT_TRUE(writer.Append(result_->traces.records[0], 1));
+    EXPECT_FALSE(writer.Append(result_->traces.records[1], 0));  // regression
+    EXPECT_FALSE(writer.Finish());
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption battery. Every mutation of a valid file must surface as a typed
+// TraceStoreError — never UB, never silently wrong data.
+// ---------------------------------------------------------------------------
+
+class StoreCorruptionTest : public ::testing::Test {
+ protected:
+  // A complete replayable store (chunks + metrics section) from a miniature
+  // run, so the sweeps cover every section of the format.
+  static void SetUpTestSuite() {
+    SimulationConfig config = DcPreset(1);
+    config.fleet.user_count = 1;
+    config.workload.window_steps = 10;
+    const EbsSimulation sim(config);
+    const std::string path = TempPath("corruption_base.ebst");
+    ASSERT_TRUE(WriteWorkloadToStore(path, sim.workload(), 1.0,
+                                     {.precision = StorePrecision::kExport,
+                                      .chunk_records = 64}));
+    base_ = new std::vector<uint8_t>(ReadFileBytes(path));
+    std::remove(path.c_str());
+    ASSERT_GT(base_->size(), kStoreHeaderBytes + kStoreTrailerBytes);
+  }
+  static void TearDownTestSuite() {
+    delete base_;
+    base_ = nullptr;
+  }
+
+  // Full read path: open + decode every chunk + decode the metrics section.
+  static void ReadEverything(const std::string& path) {
+    const TraceStoreReader reader(path);
+    reader.ReadAll();
+    if (reader.info().has_metrics) {
+      WorkloadResult result;
+      reader.ReadMetricsInto(&result);
+    }
+  }
+
+  static void FixHeaderCrc(std::vector<uint8_t>* bytes) {
+    const uint32_t crc = Crc32(bytes->data(), kStoreHeaderBytes - 4);
+    (*bytes)[44] = static_cast<uint8_t>(crc);
+    (*bytes)[45] = static_cast<uint8_t>(crc >> 8);
+    (*bytes)[46] = static_cast<uint8_t>(crc >> 16);
+    (*bytes)[47] = static_cast<uint8_t>(crc >> 24);
+  }
+
+  static StoreErrorCode CodeOf(const std::string& path) {
+    try {
+      ReadEverything(path);
+    } catch (const TraceStoreError& error) {
+      return error.code();
+    }
+    ADD_FAILURE() << "no error thrown";
+    return StoreErrorCode::kIoError;
+  }
+
+  static std::vector<uint8_t>* base_;
+};
+
+std::vector<uint8_t>* StoreCorruptionTest::base_ = nullptr;
+
+TEST_F(StoreCorruptionTest, BaseFileIsValid) {
+  const std::string path = TempPath("corruption_ok.ebst");
+  WriteFileBytes(path, *base_);
+  EXPECT_NO_THROW(ReadEverything(path));
+  std::remove(path.c_str());
+}
+
+TEST_F(StoreCorruptionTest, TruncationAtEveryLengthIsDetected) {
+  const std::string path = TempPath("corruption_trunc.ebst");
+  for (size_t length = 0; length < base_->size(); ++length) {
+    WriteFileBytes(path,
+                   std::vector<uint8_t>(base_->begin(),
+                                        base_->begin() + static_cast<ptrdiff_t>(length)));
+    EXPECT_THROW(ReadEverything(path), TraceStoreError) << "length " << length;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(StoreCorruptionTest, ByteFlipSweepAlwaysThrowsTypedError) {
+  // Every byte of the file is covered by some CRC or validated bound, so any
+  // single-byte flip must surface as a TraceStoreError. Under ASan/UBSan
+  // (scripts/ci_smoke.sh) this also pins "corrupt input never reads out of
+  // bounds".
+  const std::string path = TempPath("corruption_flip.ebst");
+  std::vector<uint8_t> mutated(*base_);
+  for (size_t i = 0; i < mutated.size(); ++i) {
+    mutated[i] ^= 0xFF;
+    WriteFileBytes(path, mutated);
+    EXPECT_THROW(ReadEverything(path), TraceStoreError) << "byte " << i;
+    mutated[i] ^= 0xFF;  // restore
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(StoreCorruptionTest, SpecificCorruptionsReportSpecificCodes) {
+  const std::string path = TempPath("corruption_code.ebst");
+
+  {  // Header magic, with the header CRC fixed up to isolate the magic check.
+    std::vector<uint8_t> bytes(*base_);
+    bytes[0] = 'X';
+    FixHeaderCrc(&bytes);
+    WriteFileBytes(path, bytes);
+    EXPECT_EQ(CodeOf(path), StoreErrorCode::kBadMagic);
+  }
+  {  // Unsupported version.
+    std::vector<uint8_t> bytes(*base_);
+    bytes[4] = 99;
+    FixHeaderCrc(&bytes);
+    WriteFileBytes(path, bytes);
+    EXPECT_EQ(CodeOf(path), StoreErrorCode::kBadVersion);
+  }
+  {  // Unknown header flag bit.
+    std::vector<uint8_t> bytes(*base_);
+    bytes[8] |= 0x80;
+    FixHeaderCrc(&bytes);
+    WriteFileBytes(path, bytes);
+    EXPECT_EQ(CodeOf(path), StoreErrorCode::kHeaderCorrupt);
+  }
+  {  // Header CRC itself.
+    std::vector<uint8_t> bytes(*base_);
+    bytes[44] ^= 0xFF;
+    WriteFileBytes(path, bytes);
+    EXPECT_EQ(CodeOf(path), StoreErrorCode::kHeaderCorrupt);
+  }
+  {  // Trailer magic.
+    std::vector<uint8_t> bytes(*base_);
+    bytes[bytes.size() - 1] ^= 0xFF;
+    WriteFileBytes(path, bytes);
+    EXPECT_EQ(CodeOf(path), StoreErrorCode::kBadMagic);
+  }
+  {  // Chunk payload: CRC catches it, random access included.
+    std::vector<uint8_t> bytes(*base_);
+    bytes[kStoreHeaderBytes + kStoreChunkHeaderBytes + 5] ^= 0xFF;
+    WriteFileBytes(path, bytes);
+    const TraceStoreReader reader(path);  // header/footer untouched: opens fine
+    std::vector<TraceRecord> records;
+    try {
+      reader.ReadChunk(0, &records);
+      ADD_FAILURE() << "corrupt chunk decoded";
+    } catch (const TraceStoreError& error) {
+      EXPECT_EQ(error.code(), StoreErrorCode::kChunkCorrupt);
+    }
+  }
+  {  // Missing file.
+    EXPECT_EQ(CodeOf(TempPath("no_such_store.ebst")), StoreErrorCode::kIoError);
+  }
+  {  // Chunk index out of range is a plain out_of_range, not UB.
+    WriteFileBytes(path, *base_);
+    const TraceStoreReader reader(path);
+    std::vector<TraceRecord> records;
+    EXPECT_THROW(reader.ReadChunk(reader.chunks().size(), &records), std::out_of_range);
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Golden corpus: a committed store decodes identically forever.
+// ---------------------------------------------------------------------------
+
+// tests/data/golden_small.ebst was written by:
+//   ./build/tools/store_tool record tests/data/golden_small.ebst
+//       --seed 7 --users 1 --steps 30  (one command line)
+// (fleet seed 7, workload seed 7*31+7 = 224, 1 user, 30-step window, export
+// precision, metrics section included). The fingerprint below is the
+// AggregateFingerprint of the recorded dataset; any format or generator
+// change that breaks old files breaks this test.
+TEST(TraceStoreGoldenTest, CommittedCorpusDecodesWithPinnedFingerprint) {
+  const std::string path = std::string(EBS_TEST_DATA_DIR) + "/golden_small.ebst";
+  constexpr uint64_t kGoldenFingerprint = 0xa907dacd812a060full;
+  constexpr uint64_t kGoldenRecords = 347;
+
+  const TraceStoreReader reader(path);
+  EXPECT_EQ(reader.info().version, kStoreVersion);
+  EXPECT_EQ(reader.info().precision, StorePrecision::kExport);
+  EXPECT_TRUE(reader.info().has_metrics);
+  EXPECT_EQ(reader.info().record_count, kGoldenRecords);
+  EXPECT_EQ(reader.info().meta.window_steps, 30u);
+  EXPECT_EQ(reader.info().meta.step_seconds, 1.0);
+
+  const TraceDataset decoded = reader.ReadAll();
+  ASSERT_EQ(decoded.records.size(), kGoldenRecords);
+  EXPECT_EQ(AggregateFingerprint(decoded), kGoldenFingerprint);
+
+  // The metrics section must still parse too — the file is a full replay
+  // input, not just a trace dump.
+  WorkloadResult result;
+  reader.ReadMetricsInto(&result);
+  EXPECT_EQ(result.metrics.window_steps, 30u);
+}
+
+// ---------------------------------------------------------------------------
+// The size gate: the reason the binary format exists.
+// ---------------------------------------------------------------------------
+
+TEST(TraceStoreSizeTest, ExportStoreIsAtLeastFourTimesSmallerThanCsv) {
+  SimulationConfig config = DcPreset(1);
+  config.fleet.user_count = 40;
+  config.workload.window_steps = 120;
+  const EbsSimulation sim(config);
+
+  const std::string csv_path = TempPath("size_gate.csv");
+  const std::string export_path = TempPath("size_gate.ebst");
+  const std::string exact_path = TempPath("size_gate_exact.ebst");
+  ASSERT_TRUE(WriteTracesCsv(sim.traces(), csv_path));
+  ASSERT_TRUE(WriteDatasetToStore(export_path, sim.traces(),
+                                  config.workload.step_seconds,
+                                  config.workload.window_steps,
+                                  {.precision = StorePrecision::kExport}));
+  ASSERT_TRUE(WriteDatasetToStore(exact_path, sim.traces(),
+                                  config.workload.step_seconds,
+                                  config.workload.window_steps,
+                                  {.precision = StorePrecision::kExact}));
+  const double csv_bytes = static_cast<double>(FileSize(csv_path));
+  const double export_bytes = static_cast<double>(FileSize(export_path));
+  const double exact_bytes = static_cast<double>(FileSize(exact_path));
+  std::remove(csv_path.c_str());
+  std::remove(export_path.c_str());
+  std::remove(exact_path.c_str());
+
+  ASSERT_GT(export_bytes, 0.0);
+  ASSERT_GT(exact_bytes, 0.0);
+  EXPECT_GE(csv_bytes / export_bytes, 4.0)
+      << "export store " << export_bytes << " B vs CSV " << csv_bytes << " B";
+  // The exact encoding carries five full-entropy f64 latency components per
+  // record; a looser floor documents that it still beats the CSV.
+  EXPECT_GE(csv_bytes / exact_bytes, 1.4)
+      << "exact store " << exact_bytes << " B vs CSV " << csv_bytes << " B";
+}
+
+}  // namespace
+}  // namespace ebs
