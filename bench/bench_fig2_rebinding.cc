@@ -61,11 +61,13 @@ void Run() {
                 TablePrinter::FmtPercent(ebs::Percentile(active_ratios, 50))});
   table.AddRow({"Median gain", TablePrinter::FmtPercent(ebs::Percentile(gains, 50))});
   table.AddRow({"Nodes improved (gain < 100%)",
-                TablePrinter::FmtPercent(static_cast<double>(improved) /
-                                         std::max<size_t>(1, results.size()))});
+                TablePrinter::FmtPercent(
+                    static_cast<double>(improved) /
+                    static_cast<double>(std::max<size_t>(1, results.size())))});
   table.AddRow({"Nodes materially improved (gain < 90%)",
-                TablePrinter::FmtPercent(static_cast<double>(materially) /
-                                         std::max<size_t>(1, results.size()))});
+                TablePrinter::FmtPercent(
+                    static_cast<double>(materially) /
+                    static_cast<double>(std::max<size_t>(1, results.size())))});
   table.Print(std::cout);
   std::cout << "Paper: only ~30% of nodes see a real gain; some nodes rebind in 60% of "
                "periods with gain ~= 100% (no improvement).\n";

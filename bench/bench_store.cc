@@ -37,8 +37,9 @@ uint64_t FileBytes(const std::string& path) {
   }
   std::fseek(file, 0, SEEK_END);
   const long size = std::ftell(file);
-  std::fclose(file);
-  return size < 0 ? 0 : static_cast<uint64_t>(size);
+  const bool stream_ok = std::ferror(file) == 0;
+  const bool closed_ok = std::fclose(file) == 0;
+  return (!stream_ok || !closed_ok || size < 0) ? 0 : static_cast<uint64_t>(size);
 }
 
 }  // namespace
@@ -65,7 +66,7 @@ int main() {
   const std::string csv_path = dir + "/bench_store_traces.csv";
   ebs::WriteTracesCsv(sim.traces(), csv_path);
   const uint64_t csv_bytes = FileBytes(csv_path);
-  const uint32_t window_steps = config.workload.window_steps;
+  const uint32_t window_steps = static_cast<uint32_t>(config.workload.window_steps);
   const double dt = config.workload.step_seconds;
 
   ebs::TablePrinter size_table(

@@ -69,7 +69,7 @@ void Run() {
                 "247.1 M / 56.9 M"});
   table.AddRow({"Write:read trace ratio",
                 TablePrinter::Fmt(static_cast<double>(write_traces) /
-                                      std::max<uint64_t>(1, read_traces),
+                                      static_cast<double>(std::max<uint64_t>(1, read_traces)),
                                   2),
                 TablePrinter::Fmt(247.1 / 56.9, 2)});
   table.Print(std::cout);

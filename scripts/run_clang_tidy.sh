@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (profile: .clang-tidy at the repo root) over the production
+# tree using a compile_commands.json produced by a fresh CMake configure.
+# WarningsAsErrors is '*', so any finding fails the script — suppress locally
+# with NOLINT(check-name) plus a reason, mirroring the ebs-lint allow() policy.
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir] [path-filter...]
+#   build-dir    where to configure (default: ./ci-build/tidy)
+#   path-filter  optional substrings; only matching sources are linted
+#                (default: src/ tools/ bench/)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/ci-build/tidy}"
+shift || true
+filters=("$@")
+if [ "${#filters[@]}" -eq 0 ]; then
+  filters=("/src/" "/tools/" "/bench/")
+fi
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${tidy_bin}" >/dev/null 2>&1; then
+  echo "run_clang_tidy: '${tidy_bin}' not found; install clang-tidy or set CLANG_TIDY" >&2
+  exit 2
+fi
+
+cmake -S "${repo_root}" -B "${build_dir}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+
+# Collect the production sources recorded in the compile database, filtered to
+# the requested subtrees (tests are linted by their own gates).
+mapfile -t sources < <(
+  python3 - "${build_dir}/compile_commands.json" "${filters[@]}" <<'EOF'
+import json
+import sys
+
+db_path, *filters = sys.argv[1:]
+with open(db_path) as db_file:
+    entries = json.load(db_file)
+seen = []
+for entry in entries:
+    path = entry["file"]
+    if any(f in path for f in filters) and path not in seen:
+        seen.append(path)
+print("\n".join(sorted(seen)))
+EOF
+)
+
+if [ "${#sources[@]}" -eq 0 ]; then
+  echo "run_clang_tidy: no sources matched filters: ${filters[*]}" >&2
+  exit 2
+fi
+
+echo "run_clang_tidy: linting ${#sources[@]} files"
+status=0
+for source in "${sources[@]}"; do
+  "${tidy_bin}" -p "${build_dir}" --quiet "${source}" || status=1
+done
+
+if [ "${status}" -ne 0 ]; then
+  echo "run_clang_tidy: findings above must be fixed or NOLINT'd with a reason" >&2
+  exit 1
+fi
+echo "run_clang_tidy: clean"

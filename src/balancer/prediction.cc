@@ -26,7 +26,18 @@ std::vector<std::vector<double>> BsPeriodTraffic(const Fleet& fleet,
     bs_series.emplace_back(periods, 0.0);
   }
 
-  for (const auto& [seg_value, series] : metrics.segment_series) {
+  // Accumulate in ascending segment-id order, not hash-map order: the += into
+  // a BS slot sums doubles, and float addition order changes the low bits —
+  // iterating the unordered map directly would make the prediction input
+  // depend on the map's population history (batch vs streaming differ).
+  std::vector<uint32_t> seg_keys;
+  seg_keys.reserve(metrics.segment_series.size());
+  for (const auto& [seg_value, series] : metrics.segment_series) {  // ebs-lint: allow(unordered-iter) key collection, sorted next
+    seg_keys.push_back(seg_value);
+  }
+  std::sort(seg_keys.begin(), seg_keys.end());
+  for (const uint32_t seg_value : seg_keys) {
+    const RwSeries& series = metrics.segment_series.at(seg_value);
     const Segment& segment = fleet.segments[seg_value];
     const int slot = slot_of_bs[segment.server.value()];
     if (slot < 0) {

@@ -51,7 +51,7 @@ std::optional<HotBlockStats> AnalyzeHottestBlock(std::span<const TraceRecord* co
   }
   uint64_t hottest_block = 0;
   uint64_t hottest_count = 0;
-  for (const auto& [block, count] : block_counts) {
+  for (const auto& [block, count] : block_counts) {  // ebs-lint: allow(unordered-iter) max with smallest-block tie-break, order-insensitive
     if (count > hottest_count || (count == hottest_count && block < hottest_block)) {
       hottest_count = count;
       hottest_block = block;

@@ -1,7 +1,6 @@
 #include "src/core/simulation.h"
 
 #include <algorithm>
-#include <mutex>
 #include <utility>
 
 #include "src/obs/metrics.h"
@@ -64,50 +63,56 @@ EbsSimulation::EbsSimulation(SimulationConfig config)
 
 namespace {
 
-template <typename Fill>
-const std::vector<RwSeries>& FillOnce(std::once_flag& once,
-                                      std::optional<std::vector<RwSeries>>& value, Fill&& fill) {
-  std::call_once(once, [&] { value = fill(); });
-  return *value;
+// Fills `cache.value` exactly once under its mutex. The returned reference
+// stays valid after the lock is released: a filled cache is never reset. If
+// the fill throws, the cache stays empty and the next caller retries —
+// matching the std::call_once semantics this replaces.
+template <typename Cache, typename Fill>
+const std::vector<RwSeries>& FillOnce(Cache& cache, Fill&& fill) {
+  util::MutexLock lock(&cache.mu);
+  if (!cache.value.has_value()) {
+    cache.value = fill();
+  }
+  return *cache.value;
 }
 
 }  // namespace
 
 const std::vector<RwSeries>& EbsSimulation::VdSeries() const {
-  return FillOnce(vd_.once, vd_.value, [&] { return RollupToVd(fleet_, metrics()); });
+  return FillOnce(vd_, [&] { return RollupToVd(fleet_, metrics()); });
 }
 
 const std::vector<RwSeries>& EbsSimulation::VmSeries() const {
-  return FillOnce(vm_.once, vm_.value, [&] { return RollupToVm(fleet_, metrics()); });
+  return FillOnce(vm_, [&] { return RollupToVm(fleet_, metrics()); });
 }
 
 const std::vector<RwSeries>& EbsSimulation::UserSeries() const {
-  return FillOnce(user_.once, user_.value, [&] { return RollupToUser(fleet_, metrics()); });
+  return FillOnce(user_, [&] { return RollupToUser(fleet_, metrics()); });
 }
 
 const std::vector<RwSeries>& EbsSimulation::WtSeries() const {
-  return FillOnce(wt_.once, wt_.value, [&] { return RollupToWt(fleet_, metrics()); });
+  return FillOnce(wt_, [&] { return RollupToWt(fleet_, metrics()); });
 }
 
 const std::vector<RwSeries>& EbsSimulation::CnSeries() const {
-  return FillOnce(cn_.once, cn_.value, [&] { return RollupToComputeNode(fleet_, metrics()); });
+  return FillOnce(cn_, [&] { return RollupToComputeNode(fleet_, metrics()); });
 }
 
 const std::vector<RwSeries>& EbsSimulation::BsSeries() const {
-  return FillOnce(bs_.once, bs_.value, [&] { return RollupToBlockServer(fleet_, metrics()); });
+  return FillOnce(bs_, [&] { return RollupToBlockServer(fleet_, metrics()); });
 }
 
 const std::vector<RwSeries>& EbsSimulation::SnSeries() const {
-  return FillOnce(sn_.once, sn_.value, [&] { return RollupToStorageNode(fleet_, metrics()); });
+  return FillOnce(sn_, [&] { return RollupToStorageNode(fleet_, metrics()); });
 }
 
 const std::vector<RwSeries>& EbsSimulation::SegSeries() const {
-  return FillOnce(seg_.once, seg_.value, [&] {
+  return FillOnce(seg_, [&] {
     // Flatten in ascending segment-id order so the result does not depend on
     // the hash map's population history.
     std::vector<std::pair<uint32_t, const RwSeries*>> sorted;
     sorted.reserve(metrics().segment_series.size());
-    for (const auto& [key, series] : metrics().segment_series) {
+    for (const auto& [key, series] : metrics().segment_series) {  // ebs-lint: allow(unordered-iter) key collection, sorted below
       sorted.emplace_back(key, &series);
     }
     std::sort(sorted.begin(), sorted.end(),

@@ -9,13 +9,13 @@
 #define SRC_CORE_SIMULATION_H_
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "src/topology/fleet.h"
 #include "src/trace/aggregate.h"
 #include "src/trace/records.h"
+#include "src/util/thread_annotations.h"
 #include "src/workload/generator.h"
 
 namespace ebs {
@@ -48,7 +48,9 @@ class EbsSimulation {
   const FaultStats& fault_stats() const { return workload_.faults; }
 
   // Cached rollups, computed once on first use. Safe to call from multiple
-  // threads concurrently (each cache fills under a std::once_flag).
+  // threads concurrently (each cache fills under its own annotated mutex;
+  // concurrent first readers serialize on the fill, later readers pay one
+  // uncontended lock).
   const std::vector<RwSeries>& VdSeries() const;
   const std::vector<RwSeries>& VmSeries() const;
   const std::vector<RwSeries>& UserSeries() const;
@@ -61,11 +63,13 @@ class EbsSimulation {
   const std::vector<RwSeries>& SegSeries() const;
 
  private:
-  // One lazily-filled rollup cache; call_once makes concurrent first reads
-  // race-free (filling exactly once, others blocking until it is ready).
+  // One lazily-filled rollup cache. The mutex guards the fill; once set, the
+  // value is never reset or reassigned, so the reference handed back outlives
+  // the lock. Was a std::once_flag — the annotated mutex lets the clang
+  // thread-safety gate prove the discipline instead of trusting the comment.
   struct RollupCache {
-    std::once_flag once;
-    std::optional<std::vector<RwSeries>> value;
+    util::Mutex mu;
+    std::optional<std::vector<RwSeries>> value EBS_GUARDED_BY(mu);
   };
 
   SimulationConfig config_;

@@ -59,7 +59,7 @@ void StreamingSimulation::Run() {
 
   std::vector<std::pair<uint32_t, const RwSeries*>> sorted;
   sorted.reserve(workload_.metrics.segment_series.size());
-  for (const auto& [key, series] : workload_.metrics.segment_series) {
+  for (const auto& [key, series] : workload_.metrics.segment_series) {  // ebs-lint: allow(unordered-iter) key collection, sorted below
     sorted.emplace_back(key, &series);
   }
   std::sort(sorted.begin(), sorted.end(),

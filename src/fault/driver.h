@@ -45,6 +45,10 @@ class UnrecoverableFaultError : public std::runtime_error {
   size_t step_;
 };
 
+// Thread-safety: immutable after construction. Every table is fully built in
+// the constructor and all public methods are const reads, so replay shards
+// share one driver concurrently without locks — keep it that way (a mutable
+// member here would need EBS_GUARDED_BY and would serialize the shards).
 class FaultDriver {
  public:
   // Validates the schedule against the fleet (throws std::invalid_argument on

@@ -27,7 +27,7 @@ std::vector<std::vector<NodeIo>> BucketByNode(const Fleet& fleet, const TraceDat
 }
 
 // Local index of each WT within its node.
-size_t LocalWt(const Fleet& fleet, const ComputeNode& node, WorkerThreadId wt) {
+size_t LocalWt(const ComputeNode& node, WorkerThreadId wt) {
   for (size_t i = 0; i < node.wts.size(); ++i) {
     if (node.wts[i] == wt) {
       return i;
@@ -56,7 +56,7 @@ std::vector<NodeRebindingResult> SimulateRebinding(const Fleet& fleet,
     // Dynamic binding state: qp -> local WT slot, materialized upfront so a
     // swap moves every QP of the two WTs, touched or not.
     auto home_wt = [&](uint32_t qp_value) {
-      return LocalWt(fleet, node, fleet.qps[qp_value].bound_wt);
+      return LocalWt(node, fleet.qps[qp_value].bound_wt);
     };
     std::unordered_map<uint32_t, size_t> binding;
     for (const VmId vm_id : node.vms) {
@@ -98,7 +98,7 @@ std::vector<NodeRebindingResult> SimulateRebinding(const Fleet& fleet,
         const size_t hot_slot = static_cast<size_t>(max_it - period_wt.begin());
         const size_t cold_slot = static_cast<size_t>(min_it - period_wt.begin());
         // Swap the QP sets of the two WTs.
-        for (auto& [qp, slot] : binding) {
+        for (auto& [qp, slot] : binding) {  // ebs-lint: allow(unordered-iter) per-element slot swap, order-insensitive
           if (slot == hot_slot) {
             slot = cold_slot;
           } else if (slot == cold_slot) {
@@ -175,7 +175,7 @@ std::vector<double> HottestWtPeriodSeries(const Fleet& fleet, const TraceDataset
     if (r.cn != node_id) {
       continue;
     }
-    const size_t slot = LocalWt(fleet, node, r.wt);
+    const size_t slot = LocalWt(node, r.wt);
     const size_t period =
         std::min(total_periods - 1, static_cast<size_t>(r.timestamp / period_seconds));
     wt_totals[slot] += r.size_bytes;
@@ -237,7 +237,7 @@ std::vector<DispatchResult> CompareHostingModels(const Fleet& fleet,
         continue;
       }
       covs.push_back(windowed_cov(node, ios, [&](size_t i) {
-        return LocalWt(fleet, node, fleet.qps[ios[i].qp].bound_wt);
+        return LocalWt(node, fleet.qps[ios[i].qp].bound_wt);
       }));
     }
     r.median_wt_cov = Percentile(covs, 50.0);
@@ -288,7 +288,7 @@ std::vector<DispatchResult> CompareHostingModels(const Fleet& fleet,
             std::min_element(totals.begin(), totals.end()) - totals.begin());
         totals[slot] += ios[i].bytes;
         slots[i] = slot;
-        if (slot != LocalWt(fleet, node, fleet.qps[ios[i].qp].bound_wt)) {
+        if (slot != LocalWt(node, fleet.qps[ios[i].qp].bound_wt)) {
           handoffs += 1.0;
         }
         ios_total += 1.0;

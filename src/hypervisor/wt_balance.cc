@@ -152,13 +152,14 @@ NodeClassificationSummary ClassifyNodes(const Fleet& fleet, const MetricDataset&
   }
 
   if (classified > 0) {
-    summary.type1_fraction = static_cast<double>(type_counts[0]) / classified;
-    summary.type2_fraction = static_cast<double>(type_counts[1]) / classified;
-    summary.type3_fraction = static_cast<double>(type_counts[2]) / classified;
+    const double classified_d = static_cast<double>(classified);
+    summary.type1_fraction = static_cast<double>(type_counts[0]) / classified_d;
+    summary.type2_fraction = static_cast<double>(type_counts[1]) / classified_d;
+    summary.type3_fraction = static_cast<double>(type_counts[2]) / classified_d;
   }
   if (type_counts[0] > 0) {
     summary.type1_bare_metal_fraction =
-        static_cast<double>(type1_bare_metal) / type_counts[0];
+        static_cast<double>(type1_bare_metal) / static_cast<double>(type_counts[0]);
   }
   for (int i = 0; i < kOpTypeCount; ++i) {
     summary.mean_hottest_vm_share[i] = hottest_vm_share[i].mean();

@@ -72,7 +72,7 @@ MetricRegistry& MetricRegistry::Global() {
 }
 
 Counter* MetricRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>(&enabled_)).first;
@@ -81,7 +81,7 @@ Counter* MetricRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge* MetricRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>(&enabled_)).first;
@@ -90,7 +90,7 @@ Gauge* MetricRegistry::GetGauge(std::string_view name) {
 }
 
 ObsHistogram* MetricRegistry::GetHistogram(std::string_view name, std::string_view unit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -102,7 +102,7 @@ ObsHistogram* MetricRegistry::GetHistogram(std::string_view name, std::string_vi
 }
 
 void MetricRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   for (auto& [name, counter] : counters_) {
     counter->Reset();
   }
@@ -116,7 +116,7 @@ void MetricRegistry::Reset() {
 
 RunReport MetricRegistry::Snapshot() const {
   RunReport report;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   report.metrics.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, counter] : counters_) {
     MetricSnapshot snap;

@@ -30,10 +30,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "src/util/thread_annotations.h"
 
 namespace ebs {
 namespace obs {
@@ -210,24 +211,29 @@ class MetricRegistry {
   void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  Counter* GetCounter(std::string_view name);
-  Gauge* GetGauge(std::string_view name);
+  Counter* GetCounter(std::string_view name) EBS_EXCLUDES(mu_);
+  Gauge* GetGauge(std::string_view name) EBS_EXCLUDES(mu_);
   // Nanosecond histogram for ScopedTimer.
   ObsHistogram* GetTimer(std::string_view name) { return GetHistogram(name, "ns"); }
-  ObsHistogram* GetHistogram(std::string_view name, std::string_view unit = "count");
+  ObsHistogram* GetHistogram(std::string_view name, std::string_view unit = "count")
+      EBS_EXCLUDES(mu_);
 
   // Zeroes every registered metric (registrations persist).
-  void Reset();
+  void Reset() EBS_EXCLUDES(mu_);
 
-  RunReport Snapshot() const;
+  RunReport Snapshot() const EBS_EXCLUDES(mu_);
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   // std::map: node-based, so metric pointers stay valid across registrations.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<ObsHistogram>, std::less<>> histograms_;
+  // The maps (lookup structure) are guarded; the metric objects themselves
+  // are internally synchronized (striped/relaxed atomics), so handing out
+  // stable pointers across the lock is safe.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_ EBS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_ EBS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<ObsHistogram>, std::less<>> histograms_
+      EBS_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

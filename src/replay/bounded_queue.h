@@ -4,6 +4,12 @@
 // pushes per-second event batches, the merge thread pops them. The capacity
 // bound is the engine's backpressure mechanism — a shard that runs ahead of
 // the merge blocks instead of buffering the whole window in RAM.
+//
+// Lock discipline is declared with the thread-safety annotations in
+// src/util/thread_annotations.h and proven by the clang -Wthread-safety CI
+// gate: every touch of items_/closed_ happens under mu_. Waits use
+// std::condition_variable_any directly on the annotated mutex; the wait
+// predicates run with the lock held and are annotated accordingly.
 
 #ifndef SRC_REPLAY_BOUNDED_QUEUE_H_
 #define SRC_REPLAY_BOUNDED_QUEUE_H_
@@ -11,8 +17,9 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "src/util/thread_annotations.h"
 
 namespace ebs {
 
@@ -26,9 +33,11 @@ class BoundedQueue {
 
   // Blocks while the queue is full. Returns false (dropping the item) if the
   // queue was closed — the producer should stop generating.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+  bool Push(T item) EBS_EXCLUDES(mu_) {
+    util::MutexLock lock(&mu_);
+    not_full_.wait(mu_, [this]() EBS_REQUIRES(mu_) {
+      return items_.size() < capacity_ || closed_;
+    });
     if (closed_) {
       return false;
     }
@@ -39,9 +48,11 @@ class BoundedQueue {
 
   // Blocks while the queue is empty. Returns false once the queue is closed
   // and drained.
-  bool Pop(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+  bool Pop(T* out) EBS_EXCLUDES(mu_) {
+    util::MutexLock lock(&mu_);
+    not_empty_.wait(mu_, [this]() EBS_REQUIRES(mu_) {
+      return !items_.empty() || closed_;
+    });
     if (items_.empty()) {
       return false;
     }
@@ -53,15 +64,15 @@ class BoundedQueue {
 
   // Instantaneous depth; a sampling observer's view of the merge backlog.
   // Racy by nature (the queue keeps moving), exact at the call instant.
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const EBS_EXCLUDES(mu_) {
+    util::MutexLock lock(&mu_);
     return items_.size();
   }
 
   // Wakes every waiter. Pending items remain poppable; further pushes fail.
-  void Close() {
+  void Close() EBS_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(&mu_);
       closed_ = true;
     }
     not_full_.notify_all();
@@ -73,10 +84,10 @@ class BoundedQueue {
   // batches that were generated but never merged are counted as dropped
   // rather than silently destroyed with the queue. Items are destroyed
   // outside the lock (they can be arbitrarily large).
-  size_t CloseAndDrain() {
+  size_t CloseAndDrain() EBS_EXCLUDES(mu_) {
     std::deque<T> drained;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(&mu_);
       closed_ = true;
       drained.swap(items_);
     }
@@ -87,11 +98,11 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable util::Mutex mu_;
+  std::condition_variable_any not_full_;
+  std::condition_variable_any not_empty_;
+  std::deque<T> items_ EBS_GUARDED_BY(mu_);
+  bool closed_ EBS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ebs

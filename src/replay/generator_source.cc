@@ -91,6 +91,7 @@ void GeneratorShardSource::StartStreams(
           }
         }
       } catch (...) {
+        util::MutexLock lock(&errors_mu_);
         worker_errors_[s] = std::current_exception();
       }
       queue->Close();
@@ -123,6 +124,7 @@ void GeneratorShardSource::Join() {
 }
 
 std::exception_ptr GeneratorShardSource::TakeError() {
+  util::MutexLock lock(&errors_mu_);
   for (std::exception_ptr& error : worker_errors_) {
     if (error) {
       return std::exchange(error, nullptr);

@@ -20,6 +20,7 @@
 #include "src/fault/driver.h"
 #include "src/replay/source.h"
 #include "src/topology/fleet.h"
+#include "src/util/thread_annotations.h"
 #include "src/workload/generator.h"
 
 namespace ebs {
@@ -60,7 +61,12 @@ class GeneratorShardSource : public ReplaySource {
   std::vector<VdGroundTruth>* vd_truth_ = nullptr;
 
   std::vector<std::promise<void>> init_done_;
-  std::vector<std::exception_ptr> worker_errors_;
+  // Written by worker threads on failure, drained by the engine after Join.
+  // The per-shard slots are disjoint, but the engine reads them all — the
+  // mutex (not slot disjointness) is what the thread-safety analysis can
+  // prove, and it keeps TakeError safe even mid-run.
+  util::Mutex errors_mu_;
+  std::vector<std::exception_ptr> worker_errors_ EBS_GUARDED_BY(errors_mu_);
   std::vector<std::thread> workers_;
   std::vector<std::pair<SegmentId, const RwSeries*>> segments_;
 };

@@ -33,7 +33,7 @@ void StoreReplaySource::PrepareResult(WorkloadResult* result) {
   // on (PrepareResult precedes StartStreams, and nobody inserts afterwards).
   segments_.clear();
   segments_.reserve(result->metrics.segment_series.size());
-  for (const auto& [id, series] : result->metrics.segment_series) {
+  for (const auto& [id, series] : result->metrics.segment_series) {  // ebs-lint: allow(unordered-iter) key collection, sorted below
     segments_.emplace_back(SegmentId(id), &series);
   }
   std::sort(segments_.begin(), segments_.end(),
@@ -133,6 +133,7 @@ void StoreReplaySource::StreamChunks(BoundedQueue<ShardBatch>* queue) {
       batch.step = next;
     }
   } catch (...) {
+    util::MutexLock lock(&error_mu_);
     error_ = std::current_exception();
   }
   queue->Close();
@@ -145,6 +146,7 @@ void StoreReplaySource::Join() {
 }
 
 std::exception_ptr StoreReplaySource::TakeError() {
+  util::MutexLock lock(&error_mu_);
   return std::exchange(error_, nullptr);
 }
 

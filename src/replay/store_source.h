@@ -28,6 +28,7 @@
 #include "src/replay/source.h"
 #include "src/topology/fleet.h"
 #include "src/trace/store.h"
+#include "src/util/thread_annotations.h"
 
 namespace ebs {
 
@@ -65,7 +66,10 @@ class StoreReplaySource : public ReplaySource {
   TraceStoreReader reader_;
   std::vector<std::pair<SegmentId, const RwSeries*>> segments_;
   std::thread producer_;
-  std::exception_ptr error_;
+  // Set by the producer thread on failure, drained by the engine. Guarded so
+  // the discipline is provable; Join() alone would also order the accesses.
+  util::Mutex error_mu_;
+  std::exception_ptr error_ EBS_GUARDED_BY(error_mu_);
 };
 
 }  // namespace ebs

@@ -36,7 +36,7 @@ std::vector<RwSeries> RollupStorageSide(const Fleet& fleet, const MetricDataset&
   }
   std::vector<uint32_t> keys;
   keys.reserve(metrics.segment_series.size());
-  for (const auto& [seg_value, src] : metrics.segment_series) {
+  for (const auto& [seg_value, src] : metrics.segment_series) {  // ebs-lint: allow(unordered-iter) key collection, sorted below
     keys.push_back(seg_value);
   }
   std::sort(keys.begin(), keys.end());

@@ -1,8 +1,10 @@
 #include "src/trace/csv_export.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 namespace ebs {
 
@@ -11,7 +13,9 @@ namespace {
 struct FileCloser {
   void operator()(std::FILE* file) const {
     if (file != nullptr) {
-      std::fclose(file);
+      // Best-effort cleanup on early-exit paths only; the success path goes
+      // through CloseChecked, which releases before this deleter can run.
+      std::fclose(file);  // ebs-lint: allow(unchecked-fclose) error-path cleanup, export already failed
     }
   }
 };
@@ -96,7 +100,17 @@ bool WriteStorageMetricsCsv(const Fleet& fleet, const MetricDataset& metrics,
   }
   std::fputs("step,user,vm,vd,segment,bs,sn,read_bytes,write_bytes,read_ops,write_ops\n",
              file.get());
-  for (const auto& [seg_value, series] : metrics.segment_series) {
+  // Emit rows in ascending segment-id order, not hash-map order: the exported
+  // file is a fingerprintable product, and the map's population history
+  // differs between the batch generator and the streaming engine's shards.
+  std::vector<uint32_t> seg_keys;
+  seg_keys.reserve(metrics.segment_series.size());
+  for (const auto& [seg_value, series] : metrics.segment_series) {  // ebs-lint: allow(unordered-iter) key collection, sorted next
+    seg_keys.push_back(seg_value);
+  }
+  std::sort(seg_keys.begin(), seg_keys.end());
+  for (const uint32_t seg_value : seg_keys) {
+    const RwSeries& series = metrics.segment_series.at(seg_value);
     const Segment& segment = fleet.segments[seg_value];
     const Vd& vd = fleet.vds[segment.vd.value()];
     const StorageNodeId sn = fleet.block_servers[segment.server.value()].node;

@@ -732,7 +732,7 @@ std::vector<uint8_t> EncodeMetricsSection(const WorkloadResult& result) {
 
   std::vector<uint32_t> segment_ids;
   segment_ids.reserve(metrics.segment_series.size());
-  for (const auto& [id, series] : metrics.segment_series) {
+  for (const auto& [id, series] : metrics.segment_series) {  // ebs-lint: allow(unordered-iter) key collection, sorted below
     segment_ids.push_back(id);
   }
   std::sort(segment_ids.begin(), segment_ids.end());
@@ -897,7 +897,7 @@ TraceStoreWriter::TraceStoreWriter(const std::string& path, const TraceStoreMeta
 
 TraceStoreWriter::~TraceStoreWriter() {
   if (file_ != nullptr) {
-    std::fclose(file_);  // unfinished file: invalid by construction, no footer
+    std::fclose(file_);  // ebs-lint: allow(unchecked-fclose) unfinished file: invalid by construction, no footer
   }
 }
 
@@ -1192,7 +1192,7 @@ TraceStoreReader::TraceStoreReader(const std::string& path) {
     }
     info_.chunk_count = chunks_.size();
   } catch (...) {
-    std::fclose(file_);
+    std::fclose(file_);  // ebs-lint: allow(unchecked-fclose) read-only stream, open already failed
     file_ = nullptr;
     throw;
   }
@@ -1200,7 +1200,7 @@ TraceStoreReader::TraceStoreReader(const std::string& path) {
 
 TraceStoreReader::~TraceStoreReader() {
   if (file_ != nullptr) {
-    std::fclose(file_);
+    std::fclose(file_);  // ebs-lint: allow(unchecked-fclose) read-only stream, nothing buffered to lose
   }
 }
 

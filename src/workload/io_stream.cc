@@ -41,12 +41,12 @@ std::vector<TraceRecord> GenerateFullRateStream(const Fleet& fleet, VdId vd_id,
       for (uint64_t i = 0; i < count && stream.size() < config.max_ios; ++i) {
         TraceRecord r;
         r.timestamp = (static_cast<double>(t) +
-                       static_cast<double>(i) / std::max<double>(1.0, count)) *
+                       static_cast<double>(i) / std::max(1.0, static_cast<double>(count))) *
                       config.step_seconds;
         r.op = op;
         const uint32_t size =
             static_cast<uint32_t>(std::max<double>(kPageBytes, io_size));
-        r.size_bytes = size - size % kPageBytes;
+        r.size_bytes = size - size % static_cast<uint32_t>(kPageBytes);
         r.offset = spatial.SampleOffset(op, r.size_bytes, rng);
         r.vd = vd.id;
         r.vm = vd.vm;

@@ -1,0 +1,17 @@
+// Fixture: calls from the banned-identifier list. strtok keeps hidden global
+// state; tmpnam is a race by construction. Only call-position uses fire — a
+// variable merely named `strtok_result` stays quiet.
+#include <cstdio>
+#include <cstring>
+
+int CountWords(char* line) {
+  int words = 0;
+  char* strtok_result = strtok(line, " ");
+  while (strtok_result != nullptr) {
+    ++words;
+    strtok_result = strtok(nullptr, " ");
+  }
+  return words;
+}
+
+const char* ScratchPath() { return tmpnam(nullptr); }

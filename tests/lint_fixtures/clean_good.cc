@@ -1,0 +1,25 @@
+// Fixture: deterministic, contract-abiding code. Zero findings expected even
+// with every rule family enabled. Mentions of banned names inside strings and
+// comments (rand, system_clock, fclose) must not confuse the tokenizer.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+// A comment that says rand() and system_clock is still just a comment.
+struct StepTotals {
+  std::map<uint32_t, double> bytes_by_step;  // ordered: iteration is stable
+
+  double Total() const {
+    double sum = 0.0;
+    for (const auto& [step, bytes] : bytes_by_step) {
+      sum += bytes;
+    }
+    return sum;
+  }
+
+  std::string Describe() const {
+    return "totals (not produced by rand() or fclose(file))";
+  }
+};

@@ -1,0 +1,13 @@
+// Fixture: fclose with the result thrown away. The final flush is the only
+// place a disk-full failure surfaces, so discarding the result loses data
+// silently. (Also missing the ferror check, so both IO rules fire.)
+#include <cstdio>
+
+void WriteGreeting(const char* path) {
+  FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    return;
+  }
+  std::fputs("hello\n", file);
+  std::fclose(file);
+}

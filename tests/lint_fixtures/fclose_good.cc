@@ -1,0 +1,14 @@
+// Fixture: the full IO-error contract — ferror consulted before a checked
+// fclose. No rule fires here.
+#include <cstdio>
+
+bool WriteGreeting(const char* path) {
+  FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    return false;
+  }
+  std::fputs("hello\n", file);
+  const bool stream_ok = std::ferror(file) == 0;
+  const bool closed_ok = std::fclose(file) == 0;
+  return stream_ok && closed_ok;
+}

@@ -1,0 +1,13 @@
+// Fixture: fclose result is checked, but no ferror call precedes it. A
+// buffered fwrite that failed earlier can still report success from fclose,
+// so the stream-error check is required within the preceding window.
+#include <cstdio>
+
+bool WriteGreeting(const char* path) {
+  FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    return false;
+  }
+  std::fputs("hello\n", file);
+  return std::fclose(file) == 0;
+}

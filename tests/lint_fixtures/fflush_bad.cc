@@ -1,0 +1,7 @@
+// Fixture: fflush with the result discarded; a failed flush must be seen.
+#include <cstdio>
+
+void Checkpoint(FILE* file) {
+  std::fputs("checkpoint\n", file);
+  std::fflush(file);
+}

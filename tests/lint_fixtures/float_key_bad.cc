@@ -1,0 +1,10 @@
+// Fixture: float keys in associative containers. Rounding makes lookups
+// flaky and ordering fragile; both declarations must be flagged.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+struct LatencyIndex {
+  std::map<double, std::string> label_by_percentile;
+  std::unordered_map<float, int> count_by_threshold;
+};

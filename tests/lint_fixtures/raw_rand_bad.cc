@@ -1,0 +1,12 @@
+// Fixture: raw randomness outside src/util/rng.h. Both the C rand() call and
+// the direct std engine must be flagged; seeds must fully determine datasets.
+#include <cstdlib>
+#include <random>
+
+int RollDie() { return rand() % 6; }
+
+int SeedFromEntropy() {
+  std::random_device entropy;
+  std::mt19937 engine(entropy());
+  return static_cast<int>(engine());
+}

@@ -1,0 +1,20 @@
+// Fixture: per-line, per-rule suppressions. The first call carries an
+// allow(wall-clock) and must stay quiet; the second has no suppression and
+// must still fire — a suppression never leaks onto other lines. The third
+// line shows a suppression for one rule not silencing another.
+#include <chrono>
+#include <cstdlib>
+
+double Allowed() {
+  const auto now = std::chrono::system_clock::now();  // ebs-lint: allow(wall-clock) fixture: documented exception
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+double NotAllowed() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+int WrongRuleSuppressed() {
+  return rand();  // ebs-lint: allow(wall-clock) wrong rule: raw-rand still fires
+}

@@ -1,0 +1,20 @@
+// Fixture: the sanctioned shape — collect keys from the unordered container
+// under an explicit allow(), sort them, then iterate deterministically.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct PerSegmentTotals {
+  std::unordered_map<uint32_t, double> bytes_by_segment;
+
+  std::vector<uint32_t> SortedSegments() const {
+    std::vector<uint32_t> keys;
+    keys.reserve(bytes_by_segment.size());
+    for (const auto& [segment, bytes] : bytes_by_segment) {  // ebs-lint: allow(unordered-iter) key collection, sorted below
+      keys.push_back(segment);
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+};

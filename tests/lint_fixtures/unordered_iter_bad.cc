@@ -1,0 +1,17 @@
+// Fixture: range-for over an unordered container. Iteration order is
+// implementation-defined; anything it feeds into exported output or a float
+// accumulation is a latent nondeterminism bug.
+#include <cstdint>
+#include <unordered_map>
+
+struct PerSegmentTotals {
+  std::unordered_map<uint32_t, double> bytes_by_segment;
+
+  double Total() const {
+    double sum = 0.0;
+    for (const auto& [segment, bytes] : bytes_by_segment) {
+      sum += bytes;
+    }
+    return sum;
+  }
+};

@@ -1,0 +1,21 @@
+// Fixture: wall-clock sources in simulation code. Every call here must be
+// flagged — a dataset that embeds the host's clock is not reproducible.
+#include <chrono>
+#include <ctime>
+
+double NowSeconds() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+long NowMicros() {
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);
+  return tv.tv_sec * 1000000 + tv.tv_usec;
+}
+
+// steady_clock is the sanctioned monotonic source and must stay quiet.
+double MonotonicSeconds() {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}

@@ -1,0 +1,218 @@
+// Fixture tests for tools/ebs_lint: every rule must fire on its committed
+// bad-example file, stay quiet on the good examples, and honor per-line
+// suppressions. The fixtures live in tests/lint_fixtures/ and double as the
+// human-readable catalog of what the linter enforces.
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/ebs_lint/linter.h"
+
+namespace ebslint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(EBS_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Lints one fixture in isolation, with the src/ determinism rules on (the
+// fixtures document the full contract regardless of where they live).
+std::vector<Finding> LintFixture(const std::string& name) {
+  const std::string content = ReadFixture(name);
+  Linter linter;
+  linter.CollectDeclarations(name, content);
+  std::vector<Finding> findings;
+  Options options;
+  options.determinism_rules = true;
+  linter.LintFile(name, content, options, &findings);
+  return findings;
+}
+
+std::vector<std::string> Rules(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const Finding& f : findings) {
+    rules.push_back(f.rule);
+  }
+  return rules;
+}
+
+TEST(LintFixtureTest, WallClockSourcesFlaggedSteadyClockAllowed) {
+  const auto findings = LintFixture("wall_clock_bad.cc");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "wall-clock");
+  EXPECT_EQ(findings[0].line, 7u);  // system_clock
+  EXPECT_EQ(findings[1].rule, "wall-clock");
+  EXPECT_EQ(findings[1].line, 13u);  // gettimeofday
+  // The steady_clock use on line 19 must not appear.
+  for (const Finding& f : findings) {
+    EXPECT_NE(f.line, 19u);
+  }
+}
+
+TEST(LintFixtureTest, RawRandomnessFlagged) {
+  const auto findings = LintFixture("raw_rand_bad.cc");
+  EXPECT_EQ(Rules(findings),
+            (std::vector<std::string>{"raw-rand", "raw-rand", "raw-rand"}));
+  // rand(), random_device, mt19937 in declaration order.
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].line, 6u);
+  EXPECT_EQ(findings[1].line, 9u);
+  EXPECT_EQ(findings[2].line, 10u);
+}
+
+TEST(LintFixtureTest, UncheckedFcloseFlagged) {
+  const auto findings = LintFixture("fclose_bad.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unchecked-fclose");
+  EXPECT_EQ(findings[0].line, 12u);
+}
+
+TEST(LintFixtureTest, CheckedFcloseWithoutFerrorFlagged) {
+  const auto findings = LintFixture("fclose_no_ferror.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "fclose-no-ferror");
+}
+
+TEST(LintFixtureTest, FullIoContractIsClean) {
+  EXPECT_TRUE(LintFixture("fclose_good.cc").empty());
+}
+
+TEST(LintFixtureTest, UncheckedFflushFlagged) {
+  const auto findings = LintFixture("fflush_bad.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unchecked-fflush");
+}
+
+TEST(LintFixtureTest, UnorderedIterationFlagged) {
+  const auto findings = LintFixture("unordered_iter_bad.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-iter");
+  EXPECT_EQ(findings[0].line, 12u);
+  EXPECT_NE(findings[0].message.find("bytes_by_segment"), std::string::npos);
+}
+
+TEST(LintFixtureTest, SortedKeyCollectionWithAllowIsClean) {
+  EXPECT_TRUE(LintFixture("unordered_iter_allowed.cc").empty());
+}
+
+TEST(LintFixtureTest, FloatMapKeysFlagged) {
+  const auto findings = LintFixture("float_key_bad.cc");
+  EXPECT_EQ(Rules(findings),
+            (std::vector<std::string>{"float-key", "float-key"}));
+}
+
+TEST(LintFixtureTest, BannedIdentifiersFlaggedOnlyInCallPosition) {
+  const auto findings = LintFixture("banned_ident_bad.cc");
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].rule, "banned-identifier");  // strtok(line, " ")
+  EXPECT_EQ(findings[1].rule, "banned-identifier");  // strtok(nullptr, " ")
+  EXPECT_EQ(findings[2].rule, "banned-identifier");  // tmpnam(nullptr)
+  // The variable named strtok_result (lines 9, 10, 12) is never flagged as an
+  // identifier use — only the two call sites on 9 and 12 fire.
+  EXPECT_EQ(findings[0].line, 9u);
+  EXPECT_EQ(findings[1].line, 12u);
+  EXPECT_EQ(findings[2].line, 17u);
+}
+
+TEST(LintFixtureTest, SuppressionIsPerLineAndPerRule) {
+  const auto findings = LintFixture("suppressed.cc");
+  ASSERT_EQ(findings.size(), 2u);
+  // Line 9's allow(wall-clock) holds; the identical call on 14 still fires.
+  EXPECT_EQ(findings[0].rule, "wall-clock");
+  EXPECT_EQ(findings[0].line, 14u);
+  // An allow() naming the wrong rule does not silence raw-rand.
+  EXPECT_EQ(findings[1].rule, "raw-rand");
+  EXPECT_EQ(findings[1].line, 19u);
+}
+
+TEST(LintFixtureTest, CleanFileHasNoFindings) {
+  EXPECT_TRUE(LintFixture("clean_good.cc").empty());
+}
+
+TEST(LintScopingTest, DeterminismRulesOnlyUnderSrc) {
+  EXPECT_TRUE(Linter::OptionsForPath("src/core/simulation.cc").determinism_rules);
+  EXPECT_TRUE(Linter::OptionsForPath("/root/repo/src/obs/metrics.cc").determinism_rules);
+  EXPECT_FALSE(Linter::OptionsForPath("bench/bench_store.cc").determinism_rules);
+  EXPECT_FALSE(Linter::OptionsForPath("tools/store_tool.cc").determinism_rules);
+}
+
+TEST(LintScopingTest, OnlyCxxSourcesScanned) {
+  EXPECT_TRUE(Linter::IsSourcePath("src/trace/store.cc"));
+  EXPECT_TRUE(Linter::IsSourcePath("src/util/thread_annotations.h"));
+  EXPECT_FALSE(Linter::IsSourcePath("scripts/ci_smoke.sh"));
+  EXPECT_FALSE(Linter::IsSourcePath("README.md"));
+}
+
+TEST(LintScopingTest, HeaderDeclarationsVisibleAcrossFiles) {
+  // A member declared unordered in a header is recognized when a .cc range-
+  // fors it, while a .cc-local declaration stays private to its own file.
+  Linter linter;
+  linter.CollectDeclarations("src/widget.h",
+                             "#include <unordered_map>\n"
+                             "struct Widget { std::unordered_map<int, int> parts_; };\n");
+  const std::string user =
+      "void Drain(Widget& w) {\n"
+      "  for (const auto& [id, n] : w.parts_) {\n"
+      "    (void)id;\n"
+      "    (void)n;\n"
+      "  }\n"
+      "}\n";
+  std::vector<Finding> findings;
+  Options options;
+  options.determinism_rules = true;
+  linter.LintFile("src/use.cc", user, options, &findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-iter");
+}
+
+TEST(LintTokenizerTest, StringsCommentsAndPreprocessorAreInvisible) {
+  const std::string content =
+      "#define CALL_RAND rand()\n"
+      "// rand() in a comment\n"
+      "/* fclose(file); */\n"
+      "const char* kText = \"system_clock and rand()\";\n"
+      "const char* kRaw = R\"(gettimeofday(nullptr, nullptr))\";\n";
+  Linter linter;
+  linter.CollectDeclarations("src/strings.cc", content);
+  std::vector<Finding> findings;
+  Options options;
+  options.determinism_rules = true;
+  linter.LintFile("src/strings.cc", content, options, &findings);
+  EXPECT_TRUE(findings.empty()) << FormatText(findings.empty() ? Finding{} : findings[0]);
+}
+
+TEST(LintOutputTest, TextFormatIsFileLineColRule) {
+  Finding finding;
+  finding.file = "src/a.cc";
+  finding.line = 3;
+  finding.col = 7;
+  finding.rule = "wall-clock";
+  finding.message = "no clocks";
+  EXPECT_EQ(FormatText(finding), "src/a.cc:3:7: error: [wall-clock] no clocks");
+}
+
+TEST(LintOutputTest, JsonFormatRoundTripsFields) {
+  const auto findings = LintFixture("fflush_bad.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string json = FormatJson(findings);
+  EXPECT_NE(json.find("\"rule\": \"unchecked-fflush\""), std::string::npos);
+  EXPECT_NE(json.find("\"file\": \"fflush_bad.cc\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 6"), std::string::npos);
+}
+
+TEST(LintSelfCheckTest, BuiltInFixturesPass) {
+  EXPECT_EQ(SelfCheck(), "");
+}
+
+}  // namespace
+}  // namespace ebslint

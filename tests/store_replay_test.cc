@@ -180,7 +180,7 @@ TEST(StoreReplayTest, TraceOnlyStoreIsRejectedAtConstruction) {
   const std::string path = TempPath("replay_no_metrics.ebst");
   ASSERT_TRUE(WriteDatasetToStore(path, batch.traces(),
                                   config.workload.step_seconds,
-                                  config.workload.window_steps));
+                                  static_cast<uint32_t>(config.workload.window_steps)));
   try {
     StreamingSimulation replay(path, config);
     ADD_FAILURE() << "trace-only store accepted for replay";

@@ -243,13 +243,17 @@ TEST_F(TraceStoreFixture, ExportRoundTripKeepsCsvFidelityAndFingerprint) {
   for (size_t i = 0; i < decoded.records.size(); ++i) {
     const TraceRecord& g = decoded.records[i];
     const TraceRecord& w = result_->traces.records[i];
-    EXPECT_EQ(g.timestamp, std::llround(w.timestamp * kMicrosPerSecond) / kMicrosPerSecond)
+    EXPECT_EQ(g.timestamp,
+              static_cast<double>(std::llround(w.timestamp * kMicrosPerSecond)) /
+                  kMicrosPerSecond)
         << "record " << i;
     EXPECT_EQ(g.offset, w.offset) << "record " << i;
     EXPECT_EQ(g.size_bytes, w.size_bytes) << "record " << i;
     for (int c = 0; c < kStackComponentCount; ++c) {
       EXPECT_EQ(g.latency.component_us[c],
-                std::llround(w.latency.component_us[c] * kCentiPerMicro) / kCentiPerMicro)
+                static_cast<double>(
+                    std::llround(w.latency.component_us[c] * kCentiPerMicro)) /
+                    kCentiPerMicro)
           << "record " << i << " component " << c;
     }
   }
@@ -657,11 +661,11 @@ TEST(TraceStoreSizeTest, ExportStoreIsAtLeastFourTimesSmallerThanCsv) {
   ASSERT_TRUE(WriteTracesCsv(sim.traces(), csv_path));
   ASSERT_TRUE(WriteDatasetToStore(export_path, sim.traces(),
                                   config.workload.step_seconds,
-                                  config.workload.window_steps,
+                                  static_cast<uint32_t>(config.workload.window_steps),
                                   {.precision = StorePrecision::kExport}));
   ASSERT_TRUE(WriteDatasetToStore(exact_path, sim.traces(),
                                   config.workload.step_seconds,
-                                  config.workload.window_steps,
+                                  static_cast<uint32_t>(config.workload.window_steps),
                                   {.precision = StorePrecision::kExact}));
   const double csv_bytes = static_cast<double>(FileSize(csv_path));
   const double export_bytes = static_cast<double>(FileSize(export_path));

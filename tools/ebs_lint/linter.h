@@ -1,0 +1,114 @@
+// ebs_lint: the repo's invariant linter — a from-scratch tokenizer + rule
+// engine (no libclang) that mechanically enforces contracts the compiler
+// cannot see. It complements the clang -Wthread-safety gate (which proves
+// lock discipline) by proving the determinism and IO-error contracts:
+//
+//   wall-clock        no wall-clock time source in src/ (system_clock,
+//                     gettimeofday, ...). Monotonic steady_clock is allowed —
+//                     the obs layer observes durations, never absolute time.
+//   raw-rand          no rand()/random_device/std engines in src/; all
+//                     randomness flows through src/util/rng.h so a seed fully
+//                     determines every dataset.
+//   unordered-iter    no range-for over an unordered container in src/:
+//                     iteration order is implementation-defined and anything
+//                     it feeds into an exported or fingerprinted product is a
+//                     latent nondeterminism bug. Order-insensitive loops
+//                     (key collection before sorting, pure reductions) carry
+//                     an explicit allow() suppression with a reason.
+//   unchecked-fclose  every fclose result must be checked (data lost in the
+//                     final flush — e.g. disk full — only surfaces there) ...
+//   fclose-no-ferror  ... and preceded by an ferror call within 10 lines,
+//                     which catches buffered write failures fclose can miss.
+//   unchecked-fflush  every fflush result must be checked.
+//   float-key         no float/double keys in map/unordered_map: rounding
+//                     makes lookups flaky and ordering fragile.
+//   banned-identifier curated list of unsafe/nondeterministic C calls
+//                     (gets, strtok, tmpnam, asctime, ctime, alloca).
+//
+// Suppression: append `// ebs-lint: allow(<rule>[, <rule>...]) <reason>` on
+// the offending line. Suppressions are per-line and per-rule; the reason text
+// is free-form but expected (review enforces it).
+//
+// Scoping: the determinism rules (wall-clock, raw-rand, unordered-iter) only
+// apply to files under src/; the IO-contract and portability rules apply to
+// every scanned file (src/, tools/, bench/).
+
+#ifndef TOOLS_EBS_LINT_LINTER_H_
+#define TOOLS_EBS_LINT_LINTER_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ebslint {
+
+struct Finding {
+  std::string file;
+  size_t line = 0;
+  size_t col = 0;
+  std::string rule;
+  std::string message;
+};
+
+// Which rule families run on a file (derived from its path by default).
+struct Options {
+  // wall-clock, raw-rand, unordered-iter: the src/ determinism contract.
+  bool determinism_rules = true;
+};
+
+// One lexed token with its source position (1-based line/col).
+struct Token {
+  std::string text;
+  size_t line = 0;
+  size_t col = 0;
+};
+
+// Token stream plus the per-line `ebs-lint: allow(...)` suppression sets.
+// Comments, string/char literals and preprocessor directives are consumed by
+// the lexer and never reach the rules.
+struct FileScan {
+  std::vector<Token> tokens;
+  std::map<size_t, std::set<std::string>> allows;  // line -> suppressed rules
+};
+
+FileScan Tokenize(const std::string& content);
+
+class Linter {
+ public:
+  // Phase 1 — run over every file first: records the names declared as
+  // unordered containers. Declarations in headers go into a global set (their
+  // members are iterated from other files); declarations in .cc files stay
+  // file-local, so a .cc-private hash map cannot shadow an unrelated
+  // same-named member elsewhere.
+  void CollectDeclarations(const std::string& path, const std::string& content);
+
+  // Phase 2: lint one file, appending findings (already filtered through the
+  // file's allow() suppressions).
+  void LintFile(const std::string& path, const std::string& content, const Options& options,
+                std::vector<Finding>* findings) const;
+
+  // True for the extensions ebs_lint scans (.h, .hh, .hpp, .cc, .cpp, .cxx).
+  static bool IsSourcePath(const std::string& path);
+  // Path-derived rule scoping: determinism rules iff the file is under src/.
+  static Options OptionsForPath(const std::string& path);
+
+ private:
+  std::set<std::string> global_unordered_;                         // from headers
+  std::map<std::string, std::set<std::string>> local_unordered_;   // per .cc file
+};
+
+// "file:line:col: error: [rule] message"
+std::string FormatText(const Finding& finding);
+// JSON array of {file, line, col, rule, message} objects.
+std::string FormatJson(const std::vector<Finding>& findings);
+
+// Runs every rule against built-in good/bad fixtures: each rule must fire
+// where expected, stay quiet on clean code, and honor its suppression.
+// Returns an empty string on success, else a description of the failure.
+std::string SelfCheck();
+
+}  // namespace ebslint
+
+#endif  // TOOLS_EBS_LINT_LINTER_H_

@@ -1,0 +1,142 @@
+// ebs_lint command line. See linter.h for the rule catalog.
+//
+//   $ ./tools/ebs_lint --check src tools bench        # lint a tree (CI gate)
+//   $ ./tools/ebs_lint --format=json --check src      # machine-readable
+//   $ ./tools/ebs_lint --self-check                   # prove every rule fires
+//
+// Exit codes: 0 = clean, 1 = findings (or self-check failure), 2 = usage or
+// IO error. Directories are scanned recursively for C++ sources; files are
+// linted as given. Rule scoping is path-derived: determinism rules apply
+// only under src/ (see Linter::OptionsForPath).
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/ebs_lint/linter.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int Usage() {
+  std::cerr << "usage: ebs_lint [--check] [--format=text|json] <path...>\n"
+            << "       ebs_lint --self-check\n";
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return !in.bad();
+}
+
+// Expands files and directories (recursively) into the sorted list of C++
+// sources to lint. Sorted so output and exit codes are stable across
+// filesystems.
+bool CollectFiles(const std::vector<std::string>& paths, std::vector<std::string>* files) {
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (fs::recursive_directory_iterator it(path, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) {
+          std::cerr << "ebs_lint: " << path << ": " << ec.message() << "\n";
+          return false;
+        }
+        if (it->is_regular_file() && ebslint::Linter::IsSourcePath(it->path().string())) {
+          files->push_back(it->path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files->push_back(fs::path(path).generic_string());
+    } else {
+      std::cerr << "ebs_lint: no such file or directory: " << path << "\n";
+      return false;
+    }
+  }
+  std::sort(files->begin(), files->end());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool self_check = false;
+  bool json = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-check") {
+      self_check = true;
+    } else if (arg == "--check") {
+      // The default mode; accepted for explicitness in scripts.
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--format=text") {
+      json = false;
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (self_check) {
+    const std::string failure = ebslint::SelfCheck();
+    if (!failure.empty()) {
+      std::cerr << "ebs_lint: " << failure << "\n";
+      return 1;
+    }
+    std::cout << "ebs_lint: self-check passed (every rule fires and suppresses)\n";
+    return 0;
+  }
+
+  if (paths.empty()) {
+    return Usage();
+  }
+
+  std::vector<std::string> files;
+  if (!CollectFiles(paths, &files)) {
+    return 2;
+  }
+
+  ebslint::Linter linter;
+  std::vector<std::pair<std::string, std::string>> contents;
+  contents.reserve(files.size());
+  for (const std::string& file : files) {
+    std::string content;
+    if (!ReadFile(file, &content)) {
+      std::cerr << "ebs_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    linter.CollectDeclarations(file, content);
+    contents.emplace_back(file, std::move(content));
+  }
+
+  std::vector<ebslint::Finding> findings;
+  for (const auto& [file, content] : contents) {
+    linter.LintFile(file, content, ebslint::Linter::OptionsForPath(file), &findings);
+  }
+
+  if (json) {
+    std::cout << ebslint::FormatJson(findings);
+  } else {
+    for (const ebslint::Finding& finding : findings) {
+      std::cout << ebslint::FormatText(finding) << "\n";
+    }
+    if (!findings.empty()) {
+      std::cout << findings.size() << " finding(s) in " << files.size() << " file(s)\n";
+    }
+  }
+  return findings.empty() ? 0 : 1;
+}
