@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "bench/qmodel_tail.h"
 #include "src/core/simulation.h"
 #include "src/hypervisor/rebinding.h"
 #include "src/obs/report.h"
@@ -112,6 +113,22 @@ void Run() {
   hosting.Print(std::cout);
   std::cout << "Expected: per-IO dispatch balances nearly perfectly (CoV ~ 0) but pays a "
                "per-IO handoff cost, motivating hardware dispatch (§4.4).\n";
+
+  // --- EBS_QMODEL: what per-IO dispatch buys in tail latency ------------------
+  if (ebs_bench::QmodelEnabled()) {
+    ebs::qmodel::QueueModelConfig qconfig;
+    qconfig.enabled = true;
+    const auto bound =
+        ebs::qmodel::RunOverTraces(fleet, qconfig, traces, traces.window_seconds);
+    qconfig.dispatch = ebs::qmodel::WtDispatch::kLeastLoadedInNode;
+    const auto spread =
+        ebs::qmodel::RunOverTraces(fleet, qconfig, traces, traces.window_seconds);
+    ebs_bench::PrintTailDelta(
+        "Queueing tails: QP binding vs per-IO least-loaded dispatch (EBS_QMODEL)",
+        "QP binding", bound, "least-loaded", spread);
+    std::cout << "Spreading a node's IOs over its WTs removes intra-node WT queueing; the "
+                 "residual tail is cross-node skew.\n";
+  }
 }
 
 }  // namespace

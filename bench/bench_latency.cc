@@ -1,0 +1,169 @@
+// Tail latency under skew — headline numbers of the discrete-event queueing
+// backend (src/qmodel) and the regression baseline behind BENCH_LATENCY.json.
+//
+// Four scenarios over the DcPreset(1) window:
+//   healthy              queueing defaults, no faults
+//   load_x2              the same stream at 2x occupancy (skew amplification)
+//   crash_heavy          CrashHeavySchedule fault storm (retries, failovers,
+//                        chunk-server slowdowns)
+//   dispatch_least_loaded the §4.4 hardware-dispatch what-if: per-IO dispatch
+//                        to the least-loaded WT of the node
+//
+// Every scenario is a deterministic function of the seed, so the emitted JSON
+// doubles as a regression baseline: scripts/check_bench.py compares a fresh
+// run against the committed BENCH_LATENCY.json in CI.
+//
+// Usage: bench_latency [output.json]   (default BENCH_LATENCY.json)
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/simulation.h"
+#include "src/fault/schedule.h"
+#include "src/obs/report.h"
+#include "src/util/table.h"
+
+namespace {
+
+using ebs::TablePrinter;
+
+struct Scenario {
+  std::string name;
+  ebs::qmodel::QueueModelResult result;
+};
+
+ebs::qmodel::QueueModelResult RunScenario(bool crash_heavy, ebs::qmodel::WtDispatch dispatch,
+                                          double load_scale) {
+  ebs::SimulationConfig config = ebs::DcPreset(1);
+  config.queueing.enabled = true;
+  config.queueing.dispatch = dispatch;
+  config.queueing.load_scale = load_scale;
+  if (crash_heavy) {
+    const ebs::Fleet fleet = ebs::BuildFleet(config.fleet);
+    config.workload.faults = ebs::CrashHeavySchedule(fleet, config.workload.window_steps, 7);
+    config.queueing.retry = config.workload.faults.retry;
+  }
+  const ebs::EbsSimulation sim(config);
+  return *sim.queue_result();
+}
+
+std::string Num(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+void AppendScenarioJson(std::string* out, const Scenario& s) {
+  const ebs::qmodel::QueueModelResult& r = s.result;
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "%016llx", static_cast<unsigned long long>(r.Fingerprint()));
+  *out += "{\"name\":\"" + s.name + "\"";
+  *out += ",\"events\":" + std::to_string(r.events);
+  *out += ",\"p50_us\":" + Num(r.total_us.Percentile(0.50));
+  *out += ",\"p90_us\":" + Num(r.total_us.Percentile(0.90));
+  *out += ",\"p99_us\":" + Num(r.total_us.Percentile(0.99));
+  *out += ",\"p999_us\":" + Num(r.total_us.Percentile(0.999));
+  *out += ",\"max_us\":" + Num(r.total_us.max_us());
+  *out += ",\"mean_us\":" + Num(r.total_us.Mean());
+  *out += ",\"read_p99_us\":" + Num(r.read_us.Percentile(0.99));
+  *out += ",\"write_p99_us\":" + Num(r.write_us.Percentile(0.99));
+  *out += ",\"slo_violations\":" + std::to_string(r.SloViolations());
+  *out += ",\"wt_overflows\":" + std::to_string(r.wt_overflows);
+  *out += ",\"bs_overflows\":" + std::to_string(r.bs_overflows);
+  *out += ",\"max_wt_utilization\":" + Num(r.MaxWtUtilization());
+  *out += ",\"max_bs_utilization\":" + Num(r.MaxBsUtilization());
+  *out += ",\"mean_queue_wait_us\":" +
+          Num(r.events > 0 ? r.queue_wait_sum_us / static_cast<double>(r.events) : 0.0);
+  *out += ",\"fingerprint\":\"";
+  *out += fp;
+  *out += "\"}";
+}
+
+bool WriteJson(const std::vector<Scenario>& scenarios, const std::string& path) {
+  std::string json = "{\"bench\":\"latency\",\"scenarios\":[";
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    if (i > 0) {
+      json += ",";
+    }
+    AppendScenarioJson(&json, scenarios[i]);
+  }
+  json += "]}\n";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return false;
+  }
+  std::fwrite(json.data(), 1, json.size(), file);
+  const bool ok = std::ferror(file) == 0;
+  return (std::fclose(file) == 0) && ok;
+}
+
+int Run(const std::string& out_path) {
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(
+      {"healthy", RunScenario(false, ebs::qmodel::WtDispatch::kRecordBinding, 1.0)});
+  scenarios.push_back(
+      {"load_x2", RunScenario(false, ebs::qmodel::WtDispatch::kRecordBinding, 2.0)});
+  scenarios.push_back(
+      {"crash_heavy", RunScenario(true, ebs::qmodel::WtDispatch::kRecordBinding, 1.0)});
+  scenarios.push_back({"dispatch_least_loaded",
+                       RunScenario(false, ebs::qmodel::WtDispatch::kLeastLoadedInNode, 1.0)});
+
+  ebs::PrintBanner(std::cout, "Queueing backend: tail latency under skew (us)");
+  TablePrinter table(
+      {"scenario", "events", "p50", "p90", "p99", "p999", "max", "SLO viol", "overflow"});
+  for (const Scenario& s : scenarios) {
+    const ebs::qmodel::QueueModelResult& r = s.result;
+    table.AddRow({s.name, std::to_string(r.events), TablePrinter::Fmt(r.total_us.Percentile(0.50), 0),
+                  TablePrinter::Fmt(r.total_us.Percentile(0.90), 0),
+                  TablePrinter::Fmt(r.total_us.Percentile(0.99), 0),
+                  TablePrinter::Fmt(r.total_us.Percentile(0.999), 0),
+                  TablePrinter::Fmt(r.total_us.max_us(), 0), std::to_string(r.SloViolations()),
+                  std::to_string(r.wt_overflows + r.bs_overflows)});
+  }
+  table.Print(std::cout);
+
+  const ebs::qmodel::QueueModelResult& base = scenarios[0].result;
+  const ebs::qmodel::QueueModelResult& spread = scenarios[3].result;
+  const double p99_base = base.total_us.Percentile(0.99);
+  const double p99_spread = spread.total_us.Percentile(0.99);
+  ebs::PrintBanner(std::cout, "Mitigation delta: per-IO least-loaded dispatch vs QP binding");
+  TablePrinter delta({"metric", "record binding", "least loaded", "delta"});
+  delta.AddRow({"P99 (us)", TablePrinter::Fmt(p99_base, 0), TablePrinter::Fmt(p99_spread, 0),
+                TablePrinter::FmtPercent(p99_base > 0.0 ? (p99_spread - p99_base) / p99_base
+                                                        : 0.0)});
+  delta.AddRow({"P999 (us)", TablePrinter::Fmt(base.total_us.Percentile(0.999), 0),
+                TablePrinter::Fmt(spread.total_us.Percentile(0.999), 0),
+                TablePrinter::FmtPercent(
+                    (spread.total_us.Percentile(0.999) - base.total_us.Percentile(0.999)) /
+                    base.total_us.Percentile(0.999))});
+  delta.AddRow({"SLO violations", std::to_string(base.SloViolations()),
+                std::to_string(spread.SloViolations()),
+                TablePrinter::FmtPercent(
+                    base.SloViolations() > 0
+                        ? (static_cast<double>(spread.SloViolations()) -
+                           static_cast<double>(base.SloViolations())) /
+                              static_cast<double>(base.SloViolations())
+                        : 0.0)});
+  delta.Print(std::cout);
+  std::cout << "Expected: spreading a node's IOs across its WTs cuts the skew-driven tail "
+               "(the paper's §4.4 hardware-dispatch motivation).\n";
+
+  if (!WriteJson(scenarios, out_path)) {
+    std::cout << "bench_latency: failed to write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "bench_latency: wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ebs::obs::InitRunReportFromEnv();
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_LATENCY.json";
+  const int rc = Run(out_path);
+  ebs::obs::EmitRunReport(std::cout);
+  return rc;
+}

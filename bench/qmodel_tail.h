@@ -1,0 +1,60 @@
+// Shared EBS_QMODEL-gated tail-latency reporting for the figure benches.
+//
+// Every mitigation bench can replay its what-if through the discrete-event
+// queueing backend (src/qmodel) and report what the intervention does to the
+// latency tail. The section is opt-in via EBS_QMODEL=1 so the default bench
+// output (and its runtime) stays exactly as before.
+
+#ifndef BENCH_QMODEL_TAIL_H_
+#define BENCH_QMODEL_TAIL_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/qmodel/queue_model.h"
+#include "src/util/table.h"
+
+namespace ebs_bench {
+
+// True when the EBS_QMODEL environment variable asks for queueing-mode tails.
+inline bool QmodelEnabled() {
+  const char* env = std::getenv("EBS_QMODEL");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+inline std::string DeltaPercent(double base, double what_if) {
+  if (base == 0.0) {
+    return "n/a";
+  }
+  return ebs::TablePrinter::FmtPercent((what_if - base) / base);
+}
+
+// One row per tail statistic: baseline, what-if, relative delta. Negative
+// deltas mean the intervention improved that statistic.
+inline void PrintTailDelta(const std::string& banner, const std::string& base_label,
+                           const ebs::qmodel::QueueModelResult& base,
+                           const std::string& what_if_label,
+                           const ebs::qmodel::QueueModelResult& what_if) {
+  ebs::PrintBanner(std::cout, banner);
+  ebs::TablePrinter table({"metric", base_label, what_if_label, "delta"});
+  const auto row = [&table](const std::string& name, double b, double w, int digits) {
+    table.AddRow({name, ebs::TablePrinter::Fmt(b, digits), ebs::TablePrinter::Fmt(w, digits),
+                  DeltaPercent(b, w)});
+  };
+  row("P50 (us)", base.total_us.Percentile(0.50), what_if.total_us.Percentile(0.50), 0);
+  row("P90 (us)", base.total_us.Percentile(0.90), what_if.total_us.Percentile(0.90), 0);
+  row("P99 (us)", base.total_us.Percentile(0.99), what_if.total_us.Percentile(0.99), 0);
+  row("P999 (us)", base.total_us.Percentile(0.999), what_if.total_us.Percentile(0.999), 0);
+  row("mean (us)", base.total_us.Mean(), what_if.total_us.Mean(), 1);
+  row("SLO violations", static_cast<double>(base.SloViolations()),
+      static_cast<double>(what_if.SloViolations()), 0);
+  row("queue overflows", static_cast<double>(base.wt_overflows + base.bs_overflows),
+      static_cast<double>(what_if.wt_overflows + what_if.bs_overflows), 0);
+  table.Print(std::cout);
+}
+
+}  // namespace ebs_bench
+
+#endif  // BENCH_QMODEL_TAIL_H_

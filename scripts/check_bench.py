@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench JSON against its committed baseline.
+
+Usage: check_bench.py BASELINE CANDIDATE [--rel-tol FRACTION]
+
+Both files follow the bench_latency schema: {"bench": ..., "scenarios":
+[{"name": ..., <numeric fields>, "fingerprint": ...}, ...]}. Scenarios are
+matched by name; every shared numeric field must agree within --rel-tol
+(default 0.05). The simulation is deterministic, so on one toolchain the
+values are normally bit-identical — the tolerance only absorbs cross-compiler
+floating-point drift. Fingerprints are reported but never gate (they encode
+exact double bits, which legitimately differ across stdlib/compiler
+versions).
+
+Exit status: 0 when every scenario matches, 1 on any missing scenario, new
+unexplained scenario, or out-of-tolerance field.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"check_bench: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(1)
+
+
+def by_name(doc, path):
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, list):
+        print(f"check_bench: {path} has no scenarios list", file=sys.stderr)
+        sys.exit(1)
+    return {s.get("name", f"<unnamed-{i}>"): s for i, s in enumerate(scenarios)}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--rel-tol", type=float, default=0.05,
+                        help="allowed relative drift per numeric field (default 0.05)")
+    args = parser.parse_args()
+
+    base = by_name(load(args.baseline), args.baseline)
+    cand = by_name(load(args.candidate), args.candidate)
+
+    failures = []
+    for name in sorted(base):
+        if name not in cand:
+            failures.append(f"scenario '{name}' missing from candidate")
+            continue
+        b, c = base[name], cand[name]
+        for key in sorted(set(b) & set(c)):
+            bv, cv = b[key], c[key]
+            if isinstance(bv, bool) or not isinstance(bv, (int, float)):
+                if key == "fingerprint" and bv != cv:
+                    print(f"note: {name}.fingerprint differs "
+                          f"({bv} -> {cv}); informational only")
+                continue
+            if not isinstance(cv, (int, float)) or isinstance(cv, bool):
+                failures.append(f"{name}.{key}: baseline is numeric, candidate is {cv!r}")
+                continue
+            denom = max(abs(bv), 1e-12)
+            drift = abs(cv - bv) / denom
+            if drift > args.rel_tol:
+                failures.append(
+                    f"{name}.{key}: {bv} -> {cv} ({drift:+.1%} > {args.rel_tol:.1%})")
+    for name in sorted(set(cand) - set(base)):
+        print(f"note: new scenario '{name}' not in baseline; add it to the baseline")
+
+    if failures:
+        print(f"check_bench: {len(failures)} regression(s) vs {args.baseline}:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"check_bench: {len(base)} scenario(s) within {args.rel_tol:.1%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -115,8 +115,11 @@ std::optional<HotBlockStats> AnalyzeHottestBlock(std::span<const TraceRecord* co
 
 CacheReplayResult ReplayVdCache(std::span<const TraceRecord* const> vd_traces,
                                 uint64_t capacity_bytes, uint64_t block_bytes,
-                                CachePolicy policy) {
+                                CachePolicy policy, std::vector<uint8_t>* full_hits) {
   CacheReplayResult result;
+  if (full_hits != nullptr) {
+    full_hits->assign(vd_traces.size(), 0);
+  }
   if (vd_traces.empty() || block_bytes == 0) {
     return result;
   }
@@ -136,13 +139,18 @@ CacheReplayResult ReplayVdCache(std::span<const TraceRecord* const> vd_traces,
 
   uint64_t hits = 0;
   uint64_t accesses = 0;
-  for (const TraceRecord* r : vd_traces) {
+  for (size_t i = 0; i < vd_traces.size(); ++i) {
+    const TraceRecord* r = vd_traces[i];
     if (r->fault_timed_out) {
       continue;  // never reached the data path; OnlineCacheSink skips it too
     }
     const uint64_t start_page = r->offset / kPageBytes;
     const size_t pages = std::max<size_t>(1, r->size_bytes / kPageBytes);
-    hits += AccessRange(*cache, start_page, pages);
+    const uint64_t record_hits = AccessRange(*cache, start_page, pages);
+    if (full_hits != nullptr && record_hits == pages) {
+      (*full_hits)[i] = 1;
+    }
+    hits += record_hits;
     accesses += pages;
   }
   result.page_accesses = accesses;

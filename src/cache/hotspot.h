@@ -53,13 +53,17 @@ std::optional<HotBlockStats> AnalyzeHottestBlock(std::span<const TraceRecord* co
 
 // §7.3.1 per-VD cache replay: hit ratio of `policy` with the cache sized to
 // `block_bytes` worth of pages. FrozenHot pins the hottest block's range.
+// When `full_hits` is non-null it is resized parallel to `vd_traces` with 1
+// for every record whose pages ALL hit (the IO could be served entirely from
+// the cache — the flag the queueing model's cn_cache_hit short-circuit
+// consumes); timed-out IOs never count as hits.
 struct CacheReplayResult {
   double hit_ratio = 0.0;
   uint64_t page_accesses = 0;
 };
 CacheReplayResult ReplayVdCache(std::span<const TraceRecord* const> vd_traces,
                                 uint64_t capacity_bytes, uint64_t block_bytes,
-                                CachePolicy policy);
+                                CachePolicy policy, std::vector<uint8_t>* full_hits = nullptr);
 
 }  // namespace ebs
 

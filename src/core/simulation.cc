@@ -59,7 +59,14 @@ WorkloadResult TimedGenerate(const Fleet& fleet, const WorkloadConfig& config) {
 EbsSimulation::EbsSimulation(SimulationConfig config)
     : config_(config),
       fleet_(TimedBuildFleet(config.fleet)),
-      workload_(TimedGenerate(fleet_, config.workload)) {}
+      workload_(TimedGenerate(fleet_, config.workload)) {
+  if (config_.queueing.enabled) {
+    obs::ScopedTimer timer(obs::MetricRegistry::Global().GetTimer("core.batch_qmodel"));
+    queue_result_ = qmodel::RunOverTraces(
+        fleet_, config_.queueing, workload_.traces,
+        static_cast<double>(config_.workload.window_steps) * config_.workload.step_seconds);
+  }
+}
 
 namespace {
 

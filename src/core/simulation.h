@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/qmodel/queue_model.h"
 #include "src/topology/fleet.h"
 #include "src/trace/aggregate.h"
 #include "src/trace/records.h"
@@ -23,6 +24,11 @@ namespace ebs {
 struct SimulationConfig {
   FleetConfig fleet;
   WorkloadConfig workload;
+  // Opt-in discrete-event latency mode (src/qmodel). Off by default: the fast
+  // additive component model stays what every calibration test sees; enabling
+  // it adds per-VD/per-tenant latency distributions and SLO counters on the
+  // side without perturbing any dataset.
+  qmodel::QueueModelConfig queueing;
 };
 
 // A preset mimicking one of the paper's three data centers: same model,
@@ -46,6 +52,12 @@ class EbsSimulation {
   // empty. Construction throws UnrecoverableFaultError for schedules carrying
   // a kUnrecoverable event (generation happens in the constructor).
   const FaultStats& fault_stats() const { return workload_.faults; }
+  // Queueing-mode latency product; nullptr unless config.queueing.enabled.
+  // Bit-identical to the streaming facade's queue_result() for the same
+  // config, at any worker count.
+  const qmodel::QueueModelResult* queue_result() const {
+    return queue_result_.has_value() ? &*queue_result_ : nullptr;
+  }
 
   // Cached rollups, computed once on first use. Safe to call from multiple
   // threads concurrently (each cache fills under its own annotated mutex;
@@ -75,6 +87,7 @@ class EbsSimulation {
   SimulationConfig config_;
   Fleet fleet_;
   WorkloadResult workload_;
+  std::optional<qmodel::QueueModelResult> queue_result_;
 
   mutable RollupCache vd_;
   mutable RollupCache vm_;

@@ -26,6 +26,10 @@ StreamingSimulation::StreamingSimulation(SimulationConfig config, ReplayOptions 
       engine_(fleet_, config.workload, options) {
   engine_.AddSink(&collector_);
   engine_.AddSink(&rollups_);
+  if (config_.queueing.enabled) {
+    qmodel_sink_.emplace(config_.queueing, config_.workload.sampling_rate);
+    engine_.AddSink(&*qmodel_sink_);
+  }
 }
 
 StreamingSimulation::StreamingSimulation(const std::string& store_path, SimulationConfig config,
@@ -36,6 +40,10 @@ StreamingSimulation::StreamingSimulation(const std::string& store_path, Simulati
       engine_(fleet_, std::make_unique<StoreReplaySource>(fleet_, store_path), options) {
   engine_.AddSink(&collector_);
   engine_.AddSink(&rollups_);
+  if (config_.queueing.enabled) {
+    qmodel_sink_.emplace(config_.queueing, config_.workload.sampling_rate);
+    engine_.AddSink(&*qmodel_sink_);
+  }
 }
 
 void StreamingSimulation::AddSink(ReplaySink* sink) {

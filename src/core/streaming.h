@@ -16,10 +16,12 @@
 #ifndef SRC_CORE_STREAMING_H_
 #define SRC_CORE_STREAMING_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/core/simulation.h"
+#include "src/qmodel/sink.h"
 #include "src/replay/engine.h"
 #include "src/replay/sinks.h"
 
@@ -65,6 +67,12 @@ class StreamingSimulation {
   const FaultStats& fault_stats() const { return workload().faults; }
   // nullptr on a healthy run; sinks that degrade under faults take this.
   const FaultDriver* fault_driver() const { return engine_.fault_driver(); }
+  // Queueing-mode latency product; nullptr unless config.queueing.enabled.
+  // Valid after Run(); bit-identical to the batch facade's queue_result() at
+  // any worker count (the sink consumes the merged stream's canonical order).
+  const qmodel::QueueModelResult* queue_result() const {
+    return qmodel_sink_.has_value() ? &qmodel_sink_->result() : nullptr;
+  }
 
   // Rollups assembled incrementally during the run.
   const std::vector<RwSeries>& VdSeries() const { return aggregator().vd(); }
@@ -86,6 +94,7 @@ class StreamingSimulation {
   Fleet fleet_;
   TraceCollectorSink collector_;
   RollupAggregatorSink rollups_;
+  std::optional<qmodel::QueueModelSink> qmodel_sink_;
   ReplayEngine engine_;
   WorkloadResult workload_;
   std::vector<RwSeries> seg_;

@@ -188,6 +188,7 @@ struct MetricSnapshot {
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;
 };
 
 // Point-in-time dump of a registry, sorted by metric name.

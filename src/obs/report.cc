@@ -52,7 +52,8 @@ std::string JsonNumber(double value) {
 void PrintRunReport(const RunReport& report, std::ostream& os) {
   PrintBanner(os, "Run report");
   TablePrinter values({"metric", "kind", "value"});
-  TablePrinter hists({"metric", "unit", "count", "mean", "p50", "p90", "p99", "max", "total"});
+  TablePrinter hists(
+      {"metric", "unit", "count", "mean", "p50", "p90", "p99", "p999", "max", "total"});
   for (const MetricSnapshot& m : report.metrics) {
     if (m.kind == "histogram") {
       hists.AddRow({m.name, DisplayUnit(m.unit), std::to_string(m.count),
@@ -60,6 +61,7 @@ void PrintRunReport(const RunReport& report, std::ostream& os) {
                     TablePrinter::Fmt(Display(m.p50, m.unit), 3),
                     TablePrinter::Fmt(Display(m.p90, m.unit), 3),
                     TablePrinter::Fmt(Display(m.p99, m.unit), 3),
+                    TablePrinter::Fmt(Display(m.p999, m.unit), 3),
                     TablePrinter::Fmt(Display(m.max, m.unit), 3),
                     TablePrinter::Fmt(Display(m.sum, m.unit), 3)});
     } else {
@@ -89,7 +91,8 @@ std::string RunReportJson(const RunReport& report) {
       os << ",\"unit\":\"" << JsonEscape(m.unit) << "\",\"count\":" << m.count
          << ",\"sum\":" << JsonNumber(m.sum) << ",\"mean\":" << JsonNumber(m.mean)
          << ",\"p50\":" << JsonNumber(m.p50) << ",\"p90\":" << JsonNumber(m.p90)
-         << ",\"p99\":" << JsonNumber(m.p99) << ",\"max\":" << JsonNumber(m.max);
+         << ",\"p99\":" << JsonNumber(m.p99) << ",\"p999\":" << JsonNumber(m.p999)
+         << ",\"max\":" << JsonNumber(m.max);
     } else {
       os << ",\"value\":" << JsonNumber(m.value);
     }

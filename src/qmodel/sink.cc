@@ -1,0 +1,27 @@
+#include "src/qmodel/sink.h"
+
+#include <stdexcept>
+
+namespace ebs {
+namespace qmodel {
+
+void QueueModelSink::OnStart(const Fleet& fleet, size_t window_steps, double step_seconds) {
+  simulator_.emplace(fleet, config_, sampling_rate_,
+                     static_cast<double>(window_steps) * step_seconds);
+}
+
+void QueueModelSink::OnEvent(const ReplayEvent& event) {
+  simulator_->Arrive(event.record, event.sequence);
+}
+
+void QueueModelSink::OnFinish() { result_ = simulator_->Finish(); }
+
+const QueueModelResult& QueueModelSink::result() const {
+  if (!result_.has_value()) {
+    throw std::logic_error("QueueModelSink: result accessed before OnFinish");
+  }
+  return *result_;
+}
+
+}  // namespace qmodel
+}  // namespace ebs

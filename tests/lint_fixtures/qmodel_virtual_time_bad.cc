@@ -1,0 +1,31 @@
+// Fixture: the src/qmodel/ virtual-time contract. The queueing backend's only
+// clock is the event heap; host time, sleeps, and threading primitives are
+// all banned there — including steady_clock, which the rest of src/ may use.
+#include <chrono>
+#include <thread>
+
+namespace qmodel_fixture {
+
+void BadClock() {
+  const auto t = std::chrono::steady_clock::now();  // line 10: banned clock
+  (void)t;
+}
+
+void BadSleep() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // line 15, twice
+}
+
+void BadThread() {
+  std::thread worker([] {});  // line 19: no threads inside the model
+  worker.join();
+}
+
+void Allowed() {
+  const auto t = std::chrono::steady_clock::now();  // ebs-lint: allow(qmodel-virtual-time) fixture
+  (void)t;
+}
+
+// A name merely containing "thread" is not a use of std::thread.
+int merge_thread_count = 0;
+
+}  // namespace qmodel_fixture

@@ -124,6 +124,38 @@ TEST(LintFixtureTest, BannedIdentifiersFlaggedOnlyInCallPosition) {
   EXPECT_EQ(findings[2].line, 17u);
 }
 
+TEST(LintFixtureTest, QmodelVirtualTimeContract) {
+  // The fixture documents the stricter src/qmodel/ scope, so lint it with
+  // the virtual-time rules on (as OptionsForPath would for src/qmodel/).
+  const std::string content = ReadFixture("qmodel_virtual_time_bad.cc");
+  Linter linter;
+  linter.CollectDeclarations("qmodel_virtual_time_bad.cc", content);
+  std::vector<Finding> findings;
+  Options options;
+  options.determinism_rules = true;
+  options.virtual_time_rules = true;
+  linter.LintFile("qmodel_virtual_time_bad.cc", content, options, &findings);
+  EXPECT_EQ(Rules(findings),
+            (std::vector<std::string>{"qmodel-virtual-time", "qmodel-virtual-time",
+                                      "qmodel-virtual-time", "qmodel-virtual-time"}));
+  ASSERT_EQ(findings.size(), 4u);
+  EXPECT_EQ(findings[0].line, 10u);  // steady_clock
+  EXPECT_EQ(findings[1].line, 15u);  // this_thread
+  EXPECT_EQ(findings[2].line, 15u);  // sleep_for
+  EXPECT_EQ(findings[3].line, 19u);  // std::thread
+  // The allow() line and the merge_thread_count identifier never fire.
+  for (const Finding& f : findings) {
+    EXPECT_NE(f.line, 24u);
+    EXPECT_NE(f.line, 29u);
+  }
+}
+
+TEST(LintFixtureTest, QmodelFixtureCleanOutsideQmodelScope) {
+  // The same file linted as ordinary src/ code only keeps the src/-wide
+  // rules, none of which it violates (steady_clock is legal there).
+  EXPECT_TRUE(LintFixture("qmodel_virtual_time_bad.cc").empty());
+}
+
 TEST(LintFixtureTest, SuppressionIsPerLineAndPerRule) {
   const auto findings = LintFixture("suppressed.cc");
   ASSERT_EQ(findings.size(), 2u);
@@ -144,6 +176,15 @@ TEST(LintScopingTest, DeterminismRulesOnlyUnderSrc) {
   EXPECT_TRUE(Linter::OptionsForPath("/root/repo/src/obs/metrics.cc").determinism_rules);
   EXPECT_FALSE(Linter::OptionsForPath("bench/bench_store.cc").determinism_rules);
   EXPECT_FALSE(Linter::OptionsForPath("tools/store_tool.cc").determinism_rules);
+}
+
+TEST(LintScopingTest, VirtualTimeRulesOnlyUnderQmodel) {
+  EXPECT_TRUE(Linter::OptionsForPath("src/qmodel/queue_model.cc").virtual_time_rules);
+  EXPECT_TRUE(Linter::OptionsForPath("/root/repo/src/qmodel/sink.h").virtual_time_rules);
+  // qmodel files still carry the whole src/ determinism contract.
+  EXPECT_TRUE(Linter::OptionsForPath("src/qmodel/queue_model.cc").determinism_rules);
+  EXPECT_FALSE(Linter::OptionsForPath("src/core/simulation.cc").virtual_time_rules);
+  EXPECT_FALSE(Linter::OptionsForPath("bench/bench_latency.cc").virtual_time_rules);
 }
 
 TEST(LintScopingTest, OnlyCxxSourcesScanned) {

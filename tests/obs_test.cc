@@ -89,6 +89,62 @@ TEST(ObsHistogramTest, TracksCountSumMaxAndBuckets) {
   EXPECT_LE(p50, p99);
 }
 
+TEST(ObsHistogramTest, InterpolatedPercentilesOnAKnownUniformBucket) {
+  MetricRegistry registry;
+  registry.set_enabled(true);
+  obs::ObsHistogram* hist = registry.GetHistogram("test.uniform");
+  // 512 uniform samples filling exactly the [512, 1024) bucket: within-bucket
+  // interpolation must read the quantiles back to ~1%, where the bucket
+  // midpoint alone would be off by up to ~33%.
+  for (uint64_t v = 512; v < 1024; ++v) {
+    hist->Record(v);
+  }
+  EXPECT_NEAR(hist->Percentile(0.50), 767.5, 8.0);
+  EXPECT_NEAR(hist->Percentile(0.90), 972.1, 10.0);
+  EXPECT_NEAR(hist->Percentile(0.99), 1017.9, 10.0);
+  EXPECT_LE(hist->Percentile(0.999), 1023.0);  // capped by the observed max
+}
+
+TEST(ObsHistogramTest, PercentileIsCappedByTheObservedMax) {
+  MetricRegistry registry;
+  registry.set_enabled(true);
+  obs::ObsHistogram* hist = registry.GetHistogram("test.capped");
+  hist->Record(1000);  // sole sample in [512, 1024); interpolation would say 1024
+  EXPECT_DOUBLE_EQ(hist->Percentile(0.99), 1000.0);
+  EXPECT_DOUBLE_EQ(hist->Percentile(0.5), 1000.0);
+}
+
+TEST(ObsHistogramTest, PercentilesAreMonotoneAcrossSparseBuckets) {
+  MetricRegistry registry;
+  registry.set_enabled(true);
+  obs::ObsHistogram* hist = registry.GetHistogram("test.sparse");
+  for (const uint64_t v : {3u, 70u, 70u, 5000u, 1000000u}) {
+    hist->Record(v);
+  }
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double p = hist->Percentile(q);
+    EXPECT_GE(p, prev) << q;
+    EXPECT_LE(p, 1000000.0) << q;
+    prev = p;
+  }
+}
+
+TEST(ObsHistogramTest, SnapshotCarriesP999) {
+  MetricRegistry registry;
+  registry.set_enabled(true);
+  obs::ObsHistogram* hist = registry.GetHistogram("test.p999", "us");
+  for (uint64_t v = 0; v < 2000; ++v) {
+    hist->Record(v < 1998 ? 100u : 100000u);  // 0.1% tail at 100ms
+  }
+  const RunReport report = registry.Snapshot();
+  ASSERT_EQ(report.metrics.size(), 1u);
+  EXPECT_GT(report.metrics[0].p999, report.metrics[0].p99);
+  EXPECT_GE(report.metrics[0].p999, 65536.0);  // the tail bucket, not the body
+  const std::string json = obs::RunReportJson(report);
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+}
+
 TEST(ObsHistogramTest, ZeroValueLandsInBucketZero) {
   MetricRegistry registry;
   registry.set_enabled(true);

@@ -222,6 +222,16 @@ constexpr std::array<const char*, 6> kBanned = {
     "gets", "strtok", "tmpnam", "asctime", "ctime", "alloca",
 };
 
+// The src/qmodel/ virtual-time contract bans everything that could make the
+// event loop's notion of time or ordering depend on the host: even the
+// monotonic clock the rest of src/ may use, every sleep, and every threading
+// primitive (the replay sink owns cross-worker determinism, not qmodel).
+constexpr std::array<const char*, 11> kVirtualTime = {
+    "steady_clock", "sleep_for", "sleep_until",        "this_thread",
+    "nanosleep",    "usleep",    "thread",             "jthread",
+    "mutex",        "condition_variable", "atomic",
+};
+
 constexpr std::array<const char*, 4> kUnorderedTypes = {
     "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset",
 };
@@ -321,11 +331,17 @@ bool UnderSrc(const std::string& path) {
   return path.rfind("src/", 0) == 0 || path.find("/src/") != std::string::npos;
 }
 
+bool UnderQmodel(const std::string& path) {
+  return path.rfind("src/qmodel/", 0) == 0 ||
+         path.find("/src/qmodel/") != std::string::npos;
+}
+
 }  // namespace
 
 Options Linter::OptionsForPath(const std::string& path) {
   Options options;
   options.determinism_rules = UnderSrc(path);
+  options.virtual_time_rules = UnderQmodel(path);
   return options;
 }
 
@@ -391,6 +407,14 @@ void Linter::LintFile(const std::string& path, const std::string& content,
              "wall-clock time source '" + token.text +
                  "' is banned in src/ (determinism contract; monotonic durations via "
                  "std::chrono::steady_clock are fine)",
+             findings);
+    }
+
+    if (options.virtual_time_rules && Contains(kVirtualTime, token.text)) {
+      Report(scan, path, token, "qmodel-virtual-time",
+             "'" + token.text +
+                 "' is banned in src/qmodel/: the event heap is the only clock, and "
+                 "cross-worker determinism belongs to the replay sink, not the model",
              findings);
     }
 
@@ -608,6 +632,21 @@ constexpr SelfCheckCase kCases[] = {
     {"banned-identifier fires", "bench/a.cc",
      "void F(char* s) { char* t = strtok(s, \",\"); (void)t; }", "banned-identifier"},
     {"banned name without call is clean", "src/a.cc", "int strtok_count = 0;", nullptr},
+    {"qmodel-virtual-time bans steady_clock", "src/qmodel/a.cc",
+     "void F() { auto t = std::chrono::steady_clock::now(); }", "qmodel-virtual-time"},
+    {"qmodel-virtual-time bans threads", "src/qmodel/a.cc",
+     "void F() { std::thread worker; worker.join(); }", "qmodel-virtual-time"},
+    {"qmodel-virtual-time bans sleeps", "src/qmodel/a.cc",
+     "void F() { std::this_thread::sleep_for(std::chrono::seconds(1)); }",
+     "qmodel-virtual-time"},
+    {"steady_clock stays legal outside qmodel", "src/obs/a.cc",
+     "void F() { auto t = std::chrono::steady_clock::now(); }", nullptr},
+    {"qmodel-virtual-time suppressed", "src/qmodel/a.cc",
+     "void F() { auto t = std::chrono::steady_clock::now(); }  // ebs-lint: "
+     "allow(qmodel-virtual-time) build-time banner only",
+     nullptr},
+    {"thread in an identifier is clean", "src/qmodel/a.cc",
+     "int merge_thread_count = 0;", nullptr},
 };
 
 }  // namespace

@@ -24,14 +24,22 @@
 //                     makes lookups flaky and ordering fragile.
 //   banned-identifier curated list of unsafe/nondeterministic C calls
 //                     (gets, strtok, tmpnam, asctime, ctime, alloca).
+//   qmodel-virtual-time
+//                     src/qmodel/ only: the queueing backend runs on virtual
+//                     time — the event heap is the sole clock, and replay
+//                     determinism across worker counts is the sink layer's
+//                     job. So even what the rest of src/ may use is banned
+//                     here: steady_clock, sleeps, std::thread/jthread,
+//                     mutexes, condition variables, atomics.
 //
 // Suppression: append `// ebs-lint: allow(<rule>[, <rule>...]) <reason>` on
 // the offending line. Suppressions are per-line and per-rule; the reason text
 // is free-form but expected (review enforces it).
 //
 // Scoping: the determinism rules (wall-clock, raw-rand, unordered-iter) only
-// apply to files under src/; the IO-contract and portability rules apply to
-// every scanned file (src/, tools/, bench/).
+// apply to files under src/; qmodel-virtual-time only under src/qmodel/; the
+// IO-contract and portability rules apply to every scanned file (src/,
+// tools/, bench/).
 
 #ifndef TOOLS_EBS_LINT_LINTER_H_
 #define TOOLS_EBS_LINT_LINTER_H_
@@ -56,6 +64,9 @@ struct Finding {
 struct Options {
   // wall-clock, raw-rand, unordered-iter: the src/ determinism contract.
   bool determinism_rules = true;
+  // qmodel-virtual-time: the stricter src/qmodel/ contract (no OS clock of
+  // any kind, no sleeps, no threading primitives).
+  bool virtual_time_rules = false;
 };
 
 // One lexed token with its source position (1-based line/col).
@@ -91,7 +102,8 @@ class Linter {
 
   // True for the extensions ebs_lint scans (.h, .hh, .hpp, .cc, .cpp, .cxx).
   static bool IsSourcePath(const std::string& path);
-  // Path-derived rule scoping: determinism rules iff the file is under src/.
+  // Path-derived rule scoping: determinism rules iff the file is under src/,
+  // virtual-time rules iff it is under src/qmodel/.
   static Options OptionsForPath(const std::string& path);
 
  private:
