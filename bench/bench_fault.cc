@@ -45,7 +45,10 @@ double BestRunMs(const ebs::SimulationConfig& config, ebs::FaultStats* stats_out
 
 std::string Pct(double value, double baseline) {
   const double pct = (value - baseline) / baseline * 100.0;
-  return (pct >= 0 ? "+" : "") + ebs::TablePrinter::Fmt(pct, 2) + "%";
+  std::string out = pct >= 0 ? "+" : "";
+  out += ebs::TablePrinter::Fmt(pct, 2);
+  out += "%";
+  return out;
 }
 
 }  // namespace

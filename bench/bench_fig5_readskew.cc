@@ -61,7 +61,8 @@ void Run() {
   for (const ebs::StorageCluster& cluster : fleet.storage_clusters) {
     // Collect (traffic, |wr_ratio|) for the cluster's active segments.
     std::vector<std::pair<double, double>> segments;  // (total bytes, |wr|)
-    for (const auto& [seg_value, series] : metrics.segment_series) {
+    for (const auto& [seg_value, series_ptr] : metrics.segment_series.SortedItems()) {
+      const ebs::RwSeries& series = *series_ptr;
       const ebs::Segment& segment = fleet.segments[seg_value];
       if (fleet.block_servers[segment.server.value()].cluster != cluster.id) {
         continue;

@@ -5,15 +5,18 @@ Usage: check_bench.py BASELINE CANDIDATE [--rel-tol FRACTION]
 
 Both files follow the bench_latency schema: {"bench": ..., "scenarios":
 [{"name": ..., <numeric fields>, "fingerprint": ...}, ...]}. Scenarios are
-matched by name; every shared numeric field must agree within --rel-tol
-(default 0.05). The simulation is deterministic, so on one toolchain the
-values are normally bit-identical — the tolerance only absorbs cross-compiler
-floating-point drift. Fingerprints are reported but never gate (they encode
-exact double bits, which legitimately differ across stdlib/compiler
-versions).
+matched by name; every numeric field present in the baseline must also be
+present in the candidate and agree within --rel-tol (default 0.05) — a
+baseline field the candidate silently dropped is a failure, not a skip. The
+simulation is deterministic, so on one toolchain the values are normally
+bit-identical — the tolerance only absorbs cross-compiler floating-point
+drift. Two field classes never gate: fingerprints (exact double bits, which
+legitimately differ across stdlib/compiler versions) are reported as notes,
+and "wall_"-prefixed fields (wall-clock timings, machine-dependent by nature)
+are ignored entirely.
 
-Exit status: 0 when every scenario matches, 1 on any missing scenario, new
-unexplained scenario, or out-of-tolerance field.
+Exit status: 0 when every scenario matches, 1 on any missing scenario,
+missing baseline field, or out-of-tolerance field.
 """
 
 import argparse
@@ -55,21 +58,31 @@ def main():
             failures.append(f"scenario '{name}' missing from candidate")
             continue
         b, c = base[name], cand[name]
-        for key in sorted(set(b) & set(c)):
-            bv, cv = b[key], c[key]
+        # Walk every baseline key, not just the shared ones: a gated field the
+        # candidate stopped emitting must fail, or a bench could dodge the
+        # gate by dropping the field it regressed on.
+        for key in sorted(b):
+            bv = b[key]
+            if key.startswith("wall_"):
+                continue  # wall-clock timing: informational, machine-dependent
             if isinstance(bv, bool) or not isinstance(bv, (int, float)):
-                if key == "fingerprint" and bv != cv:
+                if key == "fingerprint" and key in c and bv != c[key]:
                     print(f"note: {name}.fingerprint differs "
-                          f"({bv} -> {cv}); informational only")
+                          f"({bv} -> {c[key]}); informational only")
                 continue
+            if key not in c:
+                failures.append(f"{name}.{key}: baseline field missing from candidate")
+                continue
+            cv = c[key]
             if not isinstance(cv, (int, float)) or isinstance(cv, bool):
                 failures.append(f"{name}.{key}: baseline is numeric, candidate is {cv!r}")
                 continue
             denom = max(abs(bv), 1e-12)
             drift = abs(cv - bv) / denom
             if drift > args.rel_tol:
+                # drift is always absolute — no sign to show.
                 failures.append(
-                    f"{name}.{key}: {bv} -> {cv} ({drift:+.1%} > {args.rel_tol:.1%})")
+                    f"{name}.{key}: {bv} -> {cv} ({drift:.1%} > {args.rel_tol:.1%})")
     for name in sorted(set(cand) - set(base)):
         print(f"note: new scenario '{name}' not in baseline; add it to the baseline")
 

@@ -16,9 +16,12 @@
 # bounds or shifts past the type width on corrupt input fails here rather
 # than silently passing on well-formed files.
 #
-# The final stage re-runs the deterministic latency bench (bench_latency) and
-# gates the fresh tail distribution against the committed BENCH_LATENCY.json
-# baseline via scripts/check_bench.py — percentile drift beyond 5% fails CI.
+# The final stages re-run the deterministic benches and gate them against
+# their committed baselines via scripts/check_bench.py: bench_latency's tail
+# distribution against BENCH_LATENCY.json and bench_scale's fleet-tier sweep
+# (record counts, per-record memory, rollup fingerprints, worker-count
+# invariance) against BENCH_SCALE.json — deterministic-field drift beyond 5%
+# or a dropped baseline field fails CI; wall_-prefixed timings never gate.
 #
 # The Clang thread-safety build (-Werror=thread-safety over the
 # EBS_GUARDED_BY annotations) runs as its own CI job — see
@@ -33,39 +36,39 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_root="${1:-${repo_root}/ci-build}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
-echo "== [1/10] Configure + build: Release (strict warnings) =="
+echo "== [1/11] Configure + build: Release (strict warnings) =="
 cmake -S "${repo_root}" -B "${build_root}/release" \
   -DCMAKE_BUILD_TYPE=Release -DEBS_STRICT_WARNINGS=ON >/dev/null
 cmake --build "${build_root}/release" -j "${jobs}"
 
-echo "== [2/10] Tier-1 tests (Release) =="
+echo "== [2/11] Tier-1 tests (Release) =="
 ctest --test-dir "${build_root}/release" --output-on-failure -j "${jobs}"
 
-echo "== [3/10] ebs_lint: self-check + tree invariants =="
+echo "== [3/11] ebs_lint: self-check + tree invariants =="
 "${build_root}/release/tools/ebs_lint" --self-check
 "${build_root}/release/tools/ebs_lint" --check \
   "${repo_root}/src" "${repo_root}/tools" "${repo_root}/bench"
 
-echo "== [4/10] Configure + build: AddressSanitizer =="
+echo "== [4/11] Configure + build: AddressSanitizer =="
 cmake -S "${repo_root}" -B "${build_root}/asan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEBS_SANITIZE=address >/dev/null
 cmake --build "${build_root}/asan" -j "${jobs}" \
   --target replay_test fault_test trace_store_test store_replay_test
 
-echo "== [5/10] Replay determinism + fault chaos + store corruption tests (ASan) =="
+echo "== [5/11] Replay determinism + fault chaos + store corruption tests (ASan) =="
 "${build_root}/asan/tests/replay_test"
 "${build_root}/asan/tests/fault_test"
 "${build_root}/asan/tests/trace_store_test"
 "${build_root}/asan/tests/store_replay_test"
 
-echo "== [6/10] Configure + build: UndefinedBehaviorSanitizer =="
+echo "== [6/11] Configure + build: UndefinedBehaviorSanitizer =="
 cmake -S "${repo_root}" -B "${build_root}/ubsan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEBS_SANITIZE=undefined >/dev/null
 cmake --build "${build_root}/ubsan" -j "${jobs}" \
   --target util_container_test util_stats_test trace_test csv_export_test obs_test \
            trace_store_test
 
-echo "== [7/10] Numeric + export + obs + fault + store corruption tests (UBSan) =="
+echo "== [7/11] Numeric + export + obs + fault + store corruption tests (UBSan) =="
 UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/util_container_test"
 UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/util_stats_test"
 UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/trace_test"
@@ -74,19 +77,27 @@ UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/obs_test"
 UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/fault_test"
 UBSAN_OPTIONS=halt_on_error=1 "${build_root}/ubsan/tests/trace_store_test"
 
-echo "== [8/10] Configure + build: ThreadSanitizer =="
+echo "== [8/11] Configure + build: ThreadSanitizer =="
 cmake -S "${repo_root}" -B "${build_root}/tsan" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DEBS_SANITIZE=thread >/dev/null
-cmake --build "${build_root}/tsan" -j "${jobs}" --target replay_test fault_test
+cmake --build "${build_root}/tsan" -j "${jobs}" \
+  --target replay_test fault_test striped_table_test
 
-echo "== [9/10] Replay + fault chaos tests (TSan: crash-heavy + abort drain) =="
+echo "== [9/11] Replay + fault chaos + striped-table tests (TSan) =="
 TSAN_OPTIONS=halt_on_error=1 "${build_root}/tsan/tests/replay_test"
 TSAN_OPTIONS=halt_on_error=1 "${build_root}/tsan/tests/fault_test"
+TSAN_OPTIONS=halt_on_error=1 "${build_root}/tsan/tests/striped_table_test"
 
-echo "== [10/10] Latency bench vs committed baseline =="
+echo "== [10/11] Latency bench vs committed baseline =="
 "${build_root}/release/bench/bench_latency" "${build_root}/BENCH_LATENCY.fresh.json" \
   >/dev/null
 python3 "${repo_root}/scripts/check_bench.py" \
   "${repo_root}/BENCH_LATENCY.json" "${build_root}/BENCH_LATENCY.fresh.json"
+
+echo "== [11/11] Scale bench vs committed baseline =="
+"${build_root}/release/bench/bench_scale" "${build_root}/BENCH_SCALE.fresh.json" \
+  >/dev/null
+python3 "${repo_root}/scripts/check_bench.py" \
+  "${repo_root}/BENCH_SCALE.json" "${build_root}/BENCH_SCALE.fresh.json"
 
 echo "ci_smoke: all green"

@@ -26,22 +26,16 @@ std::vector<std::vector<double>> BsPeriodTraffic(const Fleet& fleet,
     bs_series.emplace_back(periods, 0.0);
   }
 
-  // Accumulate in ascending segment-id order, not hash-map order: the += into
-  // a BS slot sums doubles, and float addition order changes the low bits —
-  // iterating the unordered map directly would make the prediction input
-  // depend on the map's population history (batch vs streaming differ).
-  std::vector<uint32_t> seg_keys;
-  seg_keys.reserve(metrics.segment_series.size());
-  for (const auto& [seg_value, series] : metrics.segment_series) {  // ebs-lint: allow(unordered-iter) key collection, sorted next
-    seg_keys.push_back(seg_value);
-  }
-  std::sort(seg_keys.begin(), seg_keys.end());
-  for (const uint32_t seg_value : seg_keys) {
-    const RwSeries& series = metrics.segment_series.at(seg_value);
+  // Accumulate in ascending segment-id order (SegmentSeriesMap's only
+  // iteration order): the += into a BS slot sums doubles, and float addition
+  // order changes the low bits — an insertion-order walk would make the
+  // prediction input depend on the map's population history (batch vs
+  // streaming differ).
+  metrics.segment_series.ForEachSorted([&](uint32_t seg_value, const RwSeries& series) {
     const Segment& segment = fleet.segments[seg_value];
     const int slot = slot_of_bs[segment.server.value()];
     if (slot < 0) {
-      continue;
+      return;
     }
     const TimeSeries& bytes = series.write_bytes;
     for (size_t p = 0; p < periods; ++p) {
@@ -52,7 +46,7 @@ std::vector<std::vector<double>> BsPeriodTraffic(const Fleet& fleet,
       }
       bs_series[static_cast<size_t>(slot)][p] += sum;
     }
-  }
+  });
 
   // Drop idle BSs and normalize by each BS's own mean.
   std::vector<std::vector<double>> out;

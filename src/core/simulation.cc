@@ -116,19 +116,11 @@ const std::vector<RwSeries>& EbsSimulation::SnSeries() const {
 const std::vector<RwSeries>& EbsSimulation::SegSeries() const {
   return FillOnce(seg_, [&] {
     // Flatten in ascending segment-id order so the result does not depend on
-    // the hash map's population history.
-    std::vector<std::pair<uint32_t, const RwSeries*>> sorted;
-    sorted.reserve(metrics().segment_series.size());
-    for (const auto& [key, series] : metrics().segment_series) {  // ebs-lint: allow(unordered-iter) key collection, sorted below
-      sorted.emplace_back(key, &series);
-    }
-    std::sort(sorted.begin(), sorted.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
+    // the map's population history.
     std::vector<RwSeries> flat;
-    flat.reserve(sorted.size());
-    for (const auto& [key, series] : sorted) {
-      flat.push_back(*series);
-    }
+    flat.reserve(metrics().segment_series.size());
+    metrics().segment_series.ForEachSorted(
+        [&flat](uint32_t, const RwSeries& series) { flat.push_back(series); });
     return flat;
   });
 }

@@ -65,17 +65,9 @@ void StreamingSimulation::Run() {
   obs::ScopedTimer finalize_timer(registry.GetTimer("core.streaming_finalize"));
   workload_.traces = collector_.TakeDataset();
 
-  std::vector<std::pair<uint32_t, const RwSeries*>> sorted;
-  sorted.reserve(workload_.metrics.segment_series.size());
-  for (const auto& [key, series] : workload_.metrics.segment_series) {  // ebs-lint: allow(unordered-iter) key collection, sorted below
-    sorted.emplace_back(key, &series);
-  }
-  std::sort(sorted.begin(), sorted.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  seg_.reserve(sorted.size());
-  for (const auto& [key, series] : sorted) {
-    seg_.push_back(*series);
-  }
+  seg_.reserve(workload_.metrics.segment_series.size());
+  workload_.metrics.segment_series.ForEachSorted(
+      [this](uint32_t, const RwSeries& series) { seg_.push_back(series); });
   ran_ = true;
 }
 

@@ -81,81 +81,56 @@ MetricRegistry& MetricRegistry::Global() {
 }
 
 Counter* MetricRegistry::GetCounter(std::string_view name) {
-  util::MutexLock lock(&mu_);
-  auto it = counters_.find(name);
-  if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), std::make_unique<Counter>(&enabled_)).first;
-  }
-  return it->second.get();
+  return counters_.GetOrCreate(name, [this] { return std::make_unique<Counter>(&enabled_); });
 }
 
 Gauge* MetricRegistry::GetGauge(std::string_view name) {
-  util::MutexLock lock(&mu_);
-  auto it = gauges_.find(name);
-  if (it == gauges_.end()) {
-    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>(&enabled_)).first;
-  }
-  return it->second.get();
+  return gauges_.GetOrCreate(name, [this] { return std::make_unique<Gauge>(&enabled_); });
 }
 
 ObsHistogram* MetricRegistry::GetHistogram(std::string_view name, std::string_view unit) {
-  util::MutexLock lock(&mu_);
-  auto it = histograms_.find(name);
-  if (it == histograms_.end()) {
-    it = histograms_
-             .emplace(std::string(name),
-                      std::make_unique<ObsHistogram>(&enabled_, std::string(unit)))
-             .first;
-  }
-  return it->second.get();
+  return histograms_.GetOrCreate(
+      name, [this, unit] { return std::make_unique<ObsHistogram>(&enabled_, std::string(unit)); });
 }
 
 void MetricRegistry::Reset() {
-  util::MutexLock lock(&mu_);
-  for (auto& [name, counter] : counters_) {
-    counter->Reset();
-  }
-  for (auto& [name, gauge] : gauges_) {
-    gauge->Reset();
-  }
-  for (auto& [name, hist] : histograms_) {
-    hist->Reset();
-  }
+  counters_.ForEachSorted([](const std::string&, Counter& counter) { counter.Reset(); });
+  gauges_.ForEachSorted([](const std::string&, Gauge& gauge) { gauge.Reset(); });
+  histograms_.ForEachSorted([](const std::string&, ObsHistogram& hist) { hist.Reset(); });
 }
 
 RunReport MetricRegistry::Snapshot() const {
   RunReport report;
-  util::MutexLock lock(&mu_);
   report.metrics.reserve(counters_.size() + gauges_.size() + histograms_.size());
-  for (const auto& [name, counter] : counters_) {
+  counters_.ForEachSorted([&report](const std::string& name, Counter& counter) {
     MetricSnapshot snap;
     snap.name = name;
     snap.kind = "counter";
-    snap.value = static_cast<double>(counter->Value());
+    snap.value = static_cast<double>(counter.Value());
     report.metrics.push_back(std::move(snap));
-  }
-  for (const auto& [name, gauge] : gauges_) {
+  });
+  gauges_.ForEachSorted([&report](const std::string& name, Gauge& gauge) {
     MetricSnapshot snap;
     snap.name = name;
     snap.kind = "gauge";
-    snap.value = gauge->Value();
+    snap.value = gauge.Value();
     report.metrics.push_back(std::move(snap));
-  }
-  for (const auto& [name, hist] : histograms_) {
+  });
+  histograms_.ForEachSorted([&report](const std::string& name, ObsHistogram& hist) {
     MetricSnapshot snap;
     snap.name = name;
     snap.kind = "histogram";
-    snap.unit = hist->unit();
-    snap.count = hist->count();
-    snap.sum = static_cast<double>(hist->sum());
-    snap.mean = hist->Mean();
-    snap.max = static_cast<double>(hist->max());
-    snap.p50 = hist->Percentile(0.50);
-    snap.p90 = hist->Percentile(0.90);
-    snap.p99 = hist->Percentile(0.99);
-    snap.p999 = hist->Percentile(0.999);
+    snap.unit = hist.unit();
+    snap.count = hist.count();
+    snap.sum = static_cast<double>(hist.sum());
+    snap.mean = hist.Mean();
+    snap.max = static_cast<double>(hist.max());
+    snap.p50 = hist.Percentile(0.50);
+    snap.p90 = hist.Percentile(0.90);
+    snap.p99 = hist.Percentile(0.99);
+    snap.p999 = hist.Percentile(0.999);
     report.metrics.push_back(std::move(snap));
-  }
+  });
   std::sort(report.metrics.begin(), report.metrics.end(),
             [](const MetricSnapshot& a, const MetricSnapshot& b) { return a.name < b.name; });
   return report;

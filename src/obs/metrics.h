@@ -28,12 +28,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/util/striped_table.h"
 #include "src/util/thread_annotations.h"
 
 namespace ebs {
@@ -212,29 +212,29 @@ class MetricRegistry {
   void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  Counter* GetCounter(std::string_view name) EBS_EXCLUDES(mu_);
-  Gauge* GetGauge(std::string_view name) EBS_EXCLUDES(mu_);
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
   // Nanosecond histogram for ScopedTimer.
   ObsHistogram* GetTimer(std::string_view name) { return GetHistogram(name, "ns"); }
-  ObsHistogram* GetHistogram(std::string_view name, std::string_view unit = "count")
-      EBS_EXCLUDES(mu_);
+  ObsHistogram* GetHistogram(std::string_view name, std::string_view unit = "count");
 
   // Zeroes every registered metric (registrations persist).
-  void Reset() EBS_EXCLUDES(mu_);
+  void Reset();
 
-  RunReport Snapshot() const EBS_EXCLUDES(mu_);
+  RunReport Snapshot() const;
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable util::Mutex mu_;
-  // std::map: node-based, so metric pointers stay valid across registrations.
-  // The maps (lookup structure) are guarded; the metric objects themselves
-  // are internally synchronized (striped/relaxed atomics), so handing out
-  // stable pointers across the lock is safe.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_ EBS_GUARDED_BY(mu_);
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_ EBS_GUARDED_BY(mu_);
-  std::map<std::string, std::unique_ptr<ObsHistogram>, std::less<>> histograms_
-      EBS_GUARDED_BY(mu_);
+  // Striped concurrent tables: registrations for different names contend only
+  // when they hash to the same stripe, instead of serializing on one global
+  // registry mutex. Values live behind unique_ptr, so metric pointers stay
+  // valid across rehashes; the metric objects themselves are internally
+  // synchronized (striped/relaxed atomics), so handing out stable pointers
+  // past the stripe lock is safe. Iteration is sorted-only — Snapshot's
+  // name-ordered output never depends on hash order.
+  util::StripedTable<Counter> counters_;
+  util::StripedTable<Gauge> gauges_;
+  util::StripedTable<ObsHistogram> histograms_;
 };
 
 }  // namespace obs

@@ -11,7 +11,7 @@ size_t LatencyHist::BucketOf(uint64_t value_us) {
   if (value_us < kSubBuckets) {
     return static_cast<size_t>(value_us);
   }
-  int width = std::bit_width(value_us);  // value in [2^(width-1), 2^width)
+  int width = static_cast<int>(std::bit_width(value_us));  // value in [2^(width-1), 2^width)
   if (width > kMaxOctaveBits) {
     width = kMaxOctaveBits;
     value_us = (1ULL << kMaxOctaveBits) - 1;

@@ -17,6 +17,7 @@ ReplayShard::ReplayShard(const Fleet& fleet, const WorkloadConfig& config, uint3
 void ReplayShard::Init(std::vector<RwSeries>* qp_series, std::vector<RwSeries>* offered_vd,
                        std::vector<VdGroundTruth>* vd_truth) {
   const Rng root(config_.seed);
+  segment_lookup_.assign(fleet_.segments.size(), nullptr);
   const SegmentSeriesResolver resolver = [this](SegmentId id) {
     RwSeries*& slot = segment_lookup_[id.value()];
     if (slot == nullptr) {
@@ -77,7 +78,7 @@ ShardBatch ReplayShard::GenerateStep(size_t t) {
 
 void ReplayShard::ExportSegments(MetricDataset* metrics) {
   for (const auto& [id, series] : segment_index_) {
-    metrics->segment_series.emplace(id.value(), std::move(*segment_lookup_[id.value()]));
+    metrics->segment_series.Insert(id.value(), std::move(*segment_lookup_[id.value()]));
   }
   segment_storage_.clear();
   segment_lookup_.clear();

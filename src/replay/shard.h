@@ -13,7 +13,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -77,9 +76,10 @@ class ReplayShard {
   LatencyModel latency_model_;
 
   // Shard-local storage-domain series. std::deque keeps pointers stable while
-  // streams register new segments during Init.
+  // streams register new segments during Init; the lookup is a flat vector
+  // indexed by SegmentId (dense fleet index — no per-resolution hash probe).
   std::deque<RwSeries> segment_storage_;
-  std::unordered_map<uint32_t, RwSeries*> segment_lookup_;
+  std::vector<RwSeries*> segment_lookup_;
   std::vector<std::pair<SegmentId, const RwSeries*>> segment_index_;
 
   std::vector<std::unique_ptr<VdTrafficStream>> streams_;

@@ -1,7 +1,6 @@
 #include "src/replay/store_source.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <utility>
 
 #include "src/obs/metrics.h"
@@ -31,13 +30,13 @@ void StoreReplaySource::PrepareResult(WorkloadResult* result) {
 
   // Step views reference the result-owned series; the map is frozen from here
   // on (PrepareResult precedes StartStreams, and nobody inserts afterwards).
+  // SortedItems() is already in ascending id order, and SegmentSeriesMap's
+  // deque storage keeps the series pointers stable.
   segments_.clear();
   segments_.reserve(result->metrics.segment_series.size());
-  for (const auto& [id, series] : result->metrics.segment_series) {  // ebs-lint: allow(unordered-iter) key collection, sorted below
-    segments_.emplace_back(SegmentId(id), &series);
+  for (const auto& [id, series] : result->metrics.segment_series.SortedItems()) {
+    segments_.emplace_back(SegmentId(id), series);
   }
-  std::sort(segments_.begin(), segments_.end(),
-            [](const auto& a, const auto& b) { return a.first.value() < b.first.value(); });
   for (const auto& [id, series] : segments_) {
     if (id.value() >= fleet_.segments.size()) {
       throw TraceStoreError(StoreErrorCode::kMismatch,
@@ -82,8 +81,10 @@ void StoreReplaySource::StreamChunks(BoundedQueue<ShardBatch>* queue) {
     // Reconstructs the per-VD emission indices the generator path stamps.
     // They only matter as merge tie-breaks, and a store source is a single
     // totally-ordered stream — but keeping them makes the event streams of
-    // the two paths identical field for field.
-    std::unordered_map<uint32_t, uint64_t> vd_sequence;
+    // the two paths identical field for field. VdId is a dense fleet index,
+    // so a flat vector replaces the per-record hash probe the old
+    // unordered_map paid (ValidateRecord bounds-checks the id before use).
+    std::vector<uint64_t> vd_sequence(fleet_.vds.size(), 0);
     std::vector<TraceRecord> records;
     std::vector<uint32_t> steps;
     for (size_t chunk = 0; chunk < reader_.chunks().size(); ++chunk) {

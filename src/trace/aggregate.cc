@@ -2,89 +2,42 @@
 
 #include <algorithm>
 
+#include "src/trace/rollup_dense.h"
+
 namespace ebs {
 
-namespace {
-
-// Sums QP-level series into buckets chosen by `bucket_of(qp)`.
-template <typename BucketFn>
-std::vector<RwSeries> RollupComputeSide(const Fleet& fleet, const MetricDataset& metrics,
-                                        size_t bucket_count, BucketFn bucket_of) {
-  std::vector<RwSeries> out(bucket_count);
-  for (auto& series : out) {
-    series = RwSeries(metrics.window_steps, metrics.step_seconds);
-  }
-  for (const Qp& qp : fleet.qps) {
-    const RwSeries& src = metrics.qp_series[qp.id.value()];
-    out[bucket_of(qp)].Accumulate(src);
-  }
-  return out;
-}
-
-// Sums segment-level series into buckets chosen by `bucket_of(segment)`.
-// Iterates active segments in ascending id order — not in (implementation-
-// defined) hash-map order — so the per-bucket float sums are deterministic and
-// independent of how the map was populated. This is what lets the streaming
-// replay engine, whose shards insert segments in a different order than the
-// batch generator, produce bit-identical rollups.
-template <typename BucketFn>
-std::vector<RwSeries> RollupStorageSide(const Fleet& fleet, const MetricDataset& metrics,
-                                        size_t bucket_count, BucketFn bucket_of) {
-  std::vector<RwSeries> out(bucket_count);
-  for (auto& series : out) {
-    series = RwSeries(metrics.window_steps, metrics.step_seconds);
-  }
-  std::vector<uint32_t> keys;
-  keys.reserve(metrics.segment_series.size());
-  for (const auto& [seg_value, src] : metrics.segment_series) {  // ebs-lint: allow(unordered-iter) key collection, sorted below
-    keys.push_back(seg_value);
-  }
-  std::sort(keys.begin(), keys.end());
-  for (const uint32_t seg_value : keys) {
-    const Segment& segment = fleet.segments[seg_value];
-    out[bucket_of(segment)].Accumulate(metrics.segment_series.at(seg_value));
-  }
-  return out;
-}
-
-}  // namespace
+// The vector<RwSeries> rollups are materialized views of the SoA matrix path
+// (src/trace/rollup_dense.h). The matrix visits sources in the same order the
+// original per-entity accumulation used, so each extracted series is
+// bit-identical to the legacy result — the dense-rollup equivalence test
+// locks this in against a map-based reference implementation.
 
 std::vector<RwSeries> RollupToVd(const Fleet& fleet, const MetricDataset& metrics) {
-  return RollupComputeSide(fleet, metrics, fleet.vds.size(),
-                           [](const Qp& qp) { return qp.vd.value(); });
+  return RollupMatrixToVd(fleet, metrics).ToSeriesVector();
 }
 
 std::vector<RwSeries> RollupToVm(const Fleet& fleet, const MetricDataset& metrics) {
-  return RollupComputeSide(fleet, metrics, fleet.vms.size(),
-                           [](const Qp& qp) { return qp.vm.value(); });
+  return RollupMatrixToVm(fleet, metrics).ToSeriesVector();
 }
 
 std::vector<RwSeries> RollupToUser(const Fleet& fleet, const MetricDataset& metrics) {
-  return RollupComputeSide(fleet, metrics, fleet.users.size(), [&fleet](const Qp& qp) {
-    return fleet.vms[qp.vm.value()].user.value();
-  });
+  return RollupMatrixToUser(fleet, metrics).ToSeriesVector();
 }
 
 std::vector<RwSeries> RollupToWt(const Fleet& fleet, const MetricDataset& metrics) {
-  return RollupComputeSide(fleet, metrics, fleet.wts.size(),
-                           [](const Qp& qp) { return qp.bound_wt.value(); });
+  return RollupMatrixToWt(fleet, metrics).ToSeriesVector();
 }
 
 std::vector<RwSeries> RollupToComputeNode(const Fleet& fleet, const MetricDataset& metrics) {
-  return RollupComputeSide(fleet, metrics, fleet.nodes.size(),
-                           [](const Qp& qp) { return qp.node.value(); });
+  return RollupMatrixToComputeNode(fleet, metrics).ToSeriesVector();
 }
 
 std::vector<RwSeries> RollupToBlockServer(const Fleet& fleet, const MetricDataset& metrics) {
-  return RollupStorageSide(fleet, metrics, fleet.block_servers.size(),
-                           [](const Segment& segment) { return segment.server.value(); });
+  return RollupMatrixToBlockServer(fleet, metrics).ToSeriesVector();
 }
 
 std::vector<RwSeries> RollupToStorageNode(const Fleet& fleet, const MetricDataset& metrics) {
-  return RollupStorageSide(fleet, metrics, fleet.storage_nodes.size(),
-                           [&fleet](const Segment& segment) {
-                             return fleet.block_servers[segment.server.value()].node.value();
-                           });
+  return RollupMatrixToStorageNode(fleet, metrics).ToSeriesVector();
 }
 
 MetricDataset AggregateTraces(const Fleet& fleet, const TraceDataset& traces,
@@ -104,6 +57,8 @@ MetricDataset AggregateTraces(const Fleet& fleet, const TraceDataset& traces,
     qp.MutableBytes(r.op)[step] += bytes;
     qp.MutableOps(r.op)[step] += scale;
 
+    // Dense slot lookup — the per-record hash probe this loop used to pay is
+    // gone (SegmentSeriesMap indexes straight off the segment id).
     RwSeries& seg = metrics.MutableSegmentSeries(r.segment);
     seg.MutableBytes(r.op)[step] += bytes;
     seg.MutableOps(r.op)[step] += scale;

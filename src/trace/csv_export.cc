@@ -100,17 +100,12 @@ bool WriteStorageMetricsCsv(const Fleet& fleet, const MetricDataset& metrics,
   }
   std::fputs("step,user,vm,vd,segment,bs,sn,read_bytes,write_bytes,read_ops,write_ops\n",
              file.get());
-  // Emit rows in ascending segment-id order, not hash-map order: the exported
-  // file is a fingerprintable product, and the map's population history
-  // differs between the batch generator and the streaming engine's shards.
-  std::vector<uint32_t> seg_keys;
-  seg_keys.reserve(metrics.segment_series.size());
-  for (const auto& [seg_value, series] : metrics.segment_series) {  // ebs-lint: allow(unordered-iter) key collection, sorted next
-    seg_keys.push_back(seg_value);
-  }
-  std::sort(seg_keys.begin(), seg_keys.end());
-  for (const uint32_t seg_value : seg_keys) {
-    const RwSeries& series = metrics.segment_series.at(seg_value);
+  // Emit rows in ascending segment-id order (SegmentSeriesMap's only
+  // iteration order): the exported file is a fingerprintable product, and the
+  // map's population history differs between the batch generator and the
+  // streaming engine's shards.
+  for (const auto& [seg_value, series_ptr] : metrics.segment_series.SortedItems()) {
+    const RwSeries& series = *series_ptr;
     const Segment& segment = fleet.segments[seg_value];
     const Vd& vd = fleet.vds[segment.vd.value()];
     const StorageNodeId sn = fleet.block_servers[segment.server.value()].node;

@@ -1,5 +1,8 @@
 #include "src/trace/records.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace ebs {
 
 uint64_t TraceDataset::CountOps(OpType op) const {
@@ -53,17 +56,68 @@ TimeSeries& RwSeries::MutableOps(OpType op) {
 
 double RwSeries::TotalBytes() const { return read_bytes.SumAll() + write_bytes.SumAll(); }
 
+void SegmentSeriesMap::clear() {
+  slot_of_.clear();
+  ids_.clear();
+  series_.clear();
+}
+
+const RwSeries* SegmentSeriesMap::Find(uint32_t id) const {
+  if (id >= slot_of_.size() || slot_of_[id] == kAbsent) {
+    return nullptr;
+  }
+  return &series_[static_cast<size_t>(slot_of_[id])];
+}
+
+RwSeries* SegmentSeriesMap::Find(uint32_t id) {
+  return const_cast<RwSeries*>(std::as_const(*this).Find(id));
+}
+
+RwSeries& SegmentSeriesMap::Register(uint32_t id, RwSeries&& series) {
+  if (id >= slot_of_.size()) {
+    slot_of_.resize(static_cast<size_t>(id) + 1, kAbsent);
+  }
+  slot_of_[id] = static_cast<int32_t>(ids_.size());
+  ids_.push_back(id);
+  series_.push_back(std::move(series));
+  return series_.back();
+}
+
+RwSeries& SegmentSeriesMap::FindOrCreate(uint32_t id, size_t steps, double step_seconds) {
+  if (RwSeries* found = Find(id)) {
+    return *found;
+  }
+  // Constructed in place with the window geometry — no default-construct-
+  // then-assign on the first touch of a segment.
+  return Register(id, RwSeries(steps, step_seconds));
+}
+
+RwSeries& SegmentSeriesMap::Insert(uint32_t id, RwSeries series) {
+  RwSeries* found = Find(id);
+  if (found != nullptr) {
+    *found = std::move(series);
+    return *found;
+  }
+  return Register(id, std::move(series));
+}
+
+std::vector<std::pair<uint32_t, const RwSeries*>> SegmentSeriesMap::SortedItems() const {
+  std::vector<std::pair<uint32_t, const RwSeries*>> items;
+  items.reserve(ids_.size());
+  for (size_t slot = 0; slot < ids_.size(); ++slot) {
+    items.emplace_back(ids_[slot], &series_[slot]);
+  }
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return items;
+}
+
 const RwSeries* MetricDataset::SegmentSeries(SegmentId id) const {
-  const auto it = segment_series.find(id.value());
-  return it == segment_series.end() ? nullptr : &it->second;
+  return segment_series.Find(id.value());
 }
 
 RwSeries& MetricDataset::MutableSegmentSeries(SegmentId id) {
-  auto [it, inserted] = segment_series.try_emplace(id.value());
-  if (inserted) {
-    it->second = RwSeries(window_steps, step_seconds);
-  }
-  return it->second;
+  return segment_series.FindOrCreate(id.value(), window_steps, step_seconds);
 }
 
 }  // namespace ebs

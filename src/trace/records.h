@@ -12,7 +12,8 @@
 #define SRC_TRACE_RECORDS_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <deque>
+#include <utility>
 #include <vector>
 
 #include "src/topology/entities.h"
@@ -78,6 +79,54 @@ struct RwSeries {
   double TotalBytes() const;
 };
 
+// Sparse id-indexed collection of per-segment RwSeries. SegmentId is a dense
+// small integer, so the lookup is a flat slot vector — no hashing on the
+// per-record aggregation hot path — at ~4 bytes per fleet segment of index
+// overhead. References returned by FindOrCreate/Insert stay valid for the
+// container's lifetime (deque storage), which the workload generator relies
+// on: streams capture series pointers while later VMs keep inserting.
+//
+// Iteration is offered in ascending-id order only (SortedItems/ForEachSorted):
+// every consumer of this map feeds exported or fingerprinted products, and the
+// insertion order differs between the batch generator and the streaming
+// engine's shards, so an insertion-order walk would be a latent
+// nondeterminism bug (the ebs_lint unordered-iter contract).
+class SegmentSeriesMap {
+ public:
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  void clear();
+
+  // nullptr when the id was never inserted.
+  const RwSeries* Find(uint32_t id) const;
+  RwSeries* Find(uint32_t id);
+
+  // Returns the series for `id`, constructing RwSeries(steps, step_seconds)
+  // in place on first touch.
+  RwSeries& FindOrCreate(uint32_t id, size_t steps, double step_seconds);
+
+  // Moves a fully-built series in; `id` must not be present yet.
+  RwSeries& Insert(uint32_t id, RwSeries series);
+
+  // (id, series) pairs in ascending id order — the only iteration offered.
+  std::vector<std::pair<uint32_t, const RwSeries*>> SortedItems() const;
+
+  template <typename Fn>
+  void ForEachSorted(Fn&& fn) const {
+    for (const auto& [id, series] : SortedItems()) {
+      fn(id, *series);
+    }
+  }
+
+ private:
+  RwSeries& Register(uint32_t id, RwSeries&& series);
+
+  static constexpr int32_t kAbsent = -1;
+  std::vector<int32_t> slot_of_;  // indexed by segment id value; kAbsent = none
+  std::vector<uint32_t> ids_;     // insertion order, parallel to series_
+  std::deque<RwSeries> series_;   // deque: stable references across growth
+};
+
 // The metric dataset: per-QP series (compute domain) plus per-segment series
 // (storage domain; sparse — only segments that ever saw traffic).
 struct MetricDataset {
@@ -85,7 +134,7 @@ struct MetricDataset {
   size_t window_steps = 0;
 
   std::vector<RwSeries> qp_series;  // indexed by QpId::value()
-  std::unordered_map<uint32_t, RwSeries> segment_series;  // key: SegmentId::value()
+  SegmentSeriesMap segment_series;  // keyed by SegmentId::value()
 
   const RwSeries* SegmentSeries(SegmentId id) const;
   RwSeries& MutableSegmentSeries(SegmentId id);

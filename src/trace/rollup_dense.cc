@@ -1,0 +1,132 @@
+#include "src/trace/rollup_dense.h"
+
+namespace ebs {
+
+RwMatrix::RwMatrix(size_t entities, size_t steps, double step_seconds)
+    : entities_(entities),
+      steps_(steps),
+      step_seconds_(step_seconds),
+      read_bytes_(entities * steps, 0.0),
+      write_bytes_(entities * steps, 0.0),
+      read_ops_(entities * steps, 0.0),
+      write_ops_(entities * steps, 0.0) {}
+
+namespace {
+
+void AddInto(std::span<double> dst, const TimeSeries& src) {
+  for (size_t t = 0; t < dst.size(); ++t) {
+    dst[t] += src[t];
+  }
+}
+
+}  // namespace
+
+void RwMatrix::AccumulateRow(size_t e, const RwSeries& src) {
+  AddInto(ReadBytes(e), src.read_bytes);
+  AddInto(WriteBytes(e), src.write_bytes);
+  AddInto(ReadOps(e), src.read_ops);
+  AddInto(WriteOps(e), src.write_ops);
+}
+
+void RwMatrix::AccumulateColumn(size_t e, const RwSeries& src, size_t t) {
+  const size_t at = e * steps_ + t;
+  read_bytes_[at] += src.read_bytes[t];
+  write_bytes_[at] += src.write_bytes[t];
+  read_ops_[at] += src.read_ops[t];
+  write_ops_[at] += src.write_ops[t];
+}
+
+RwSeries RwMatrix::ExtractSeries(size_t e) const {
+  RwSeries series(steps_, step_seconds_);
+  const auto copy = [&](TimeSeries& dst, std::span<const double> src) {
+    for (size_t t = 0; t < steps_; ++t) {
+      dst[t] = src[t];
+    }
+  };
+  copy(series.read_bytes, ReadBytes(e));
+  copy(series.write_bytes, WriteBytes(e));
+  copy(series.read_ops, ReadOps(e));
+  copy(series.write_ops, WriteOps(e));
+  return series;
+}
+
+std::vector<RwSeries> RwMatrix::ToSeriesVector() const {
+  std::vector<RwSeries> out;
+  out.reserve(entities_);
+  for (size_t e = 0; e < entities_; ++e) {
+    out.push_back(ExtractSeries(e));
+  }
+  return out;
+}
+
+namespace {
+
+// Sums QP-level series into buckets chosen by `bucket_of(qp)`.
+template <typename BucketFn>
+RwMatrix RollupComputeSide(const Fleet& fleet, const MetricDataset& metrics,
+                           size_t bucket_count, BucketFn bucket_of) {
+  RwMatrix out(bucket_count, metrics.window_steps, metrics.step_seconds);
+  for (const Qp& qp : fleet.qps) {
+    out.AccumulateRow(bucket_of(qp), metrics.qp_series[qp.id.value()]);
+  }
+  return out;
+}
+
+// Sums segment-level series into buckets chosen by `bucket_of(segment)`.
+// Active segments are visited in ascending id order — SegmentSeriesMap offers
+// no other order — so the per-bucket float sums are deterministic and
+// independent of how the map was populated. This is what lets the streaming
+// replay engine, whose shards insert segments in a different order than the
+// batch generator, produce bit-identical rollups.
+template <typename BucketFn>
+RwMatrix RollupStorageSide(const Fleet& fleet, const MetricDataset& metrics,
+                           size_t bucket_count, BucketFn bucket_of) {
+  RwMatrix out(bucket_count, metrics.window_steps, metrics.step_seconds);
+  metrics.segment_series.ForEachSorted([&](uint32_t seg_value, const RwSeries& src) {
+    const Segment& segment = fleet.segments[seg_value];
+    out.AccumulateRow(bucket_of(segment), src);
+  });
+  return out;
+}
+
+}  // namespace
+
+RwMatrix RollupMatrixToVd(const Fleet& fleet, const MetricDataset& metrics) {
+  return RollupComputeSide(fleet, metrics, fleet.vds.size(),
+                           [](const Qp& qp) { return qp.vd.value(); });
+}
+
+RwMatrix RollupMatrixToVm(const Fleet& fleet, const MetricDataset& metrics) {
+  return RollupComputeSide(fleet, metrics, fleet.vms.size(),
+                           [](const Qp& qp) { return qp.vm.value(); });
+}
+
+RwMatrix RollupMatrixToUser(const Fleet& fleet, const MetricDataset& metrics) {
+  return RollupComputeSide(fleet, metrics, fleet.users.size(), [&fleet](const Qp& qp) {
+    return fleet.vms[qp.vm.value()].user.value();
+  });
+}
+
+RwMatrix RollupMatrixToWt(const Fleet& fleet, const MetricDataset& metrics) {
+  return RollupComputeSide(fleet, metrics, fleet.wts.size(),
+                           [](const Qp& qp) { return qp.bound_wt.value(); });
+}
+
+RwMatrix RollupMatrixToComputeNode(const Fleet& fleet, const MetricDataset& metrics) {
+  return RollupComputeSide(fleet, metrics, fleet.nodes.size(),
+                           [](const Qp& qp) { return qp.node.value(); });
+}
+
+RwMatrix RollupMatrixToBlockServer(const Fleet& fleet, const MetricDataset& metrics) {
+  return RollupStorageSide(fleet, metrics, fleet.block_servers.size(),
+                           [](const Segment& segment) { return segment.server.value(); });
+}
+
+RwMatrix RollupMatrixToStorageNode(const Fleet& fleet, const MetricDataset& metrics) {
+  return RollupStorageSide(fleet, metrics, fleet.storage_nodes.size(),
+                           [&fleet](const Segment& segment) {
+                             return fleet.block_servers[segment.server.value()].node.value();
+                           });
+}
+
+}  // namespace ebs

@@ -1,0 +1,91 @@
+// Struct-of-arrays rollup storage for fleet-scale aggregation.
+//
+// A rollup to N entities over S steps used to be a vector<RwSeries> — 4*N
+// separately heap-allocated step arrays. At million-VD scale that is tens of
+// millions of allocations per rollup level and a pointer chase per accumulate.
+// RwMatrix keeps the same logical layout (entity-major rows of each channel)
+// in exactly four contiguous buffers, so building a rollup level costs four
+// allocations regardless of fleet size and row accumulation is a linear
+// sweep.
+//
+// Bit-compatibility contract: RollupMatrix* visit sources in the same order
+// as the vector<RwSeries> Rollup* functions in aggregate.h (QPs in fleet
+// order, segments in ascending id order), and each accumulator element sees
+// the same addition sequence — so Row(e) of the matrix is bit-identical to
+// rollup[e] of the legacy path. ToSeriesVector() is the bridge for consumers
+// that still want per-entity RwSeries.
+
+#ifndef SRC_TRACE_ROLLUP_DENSE_H_
+#define SRC_TRACE_ROLLUP_DENSE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/topology/fleet.h"
+#include "src/trace/records.h"
+
+namespace ebs {
+
+// Four SoA channels of an entities x steps rollup.
+class RwMatrix {
+ public:
+  RwMatrix() = default;
+  RwMatrix(size_t entities, size_t steps, double step_seconds);
+
+  size_t entities() const { return entities_; }
+  size_t steps() const { return steps_; }
+  double step_seconds() const { return step_seconds_; }
+
+  std::span<double> ReadBytes(size_t e) { return Row(read_bytes_, e); }
+  std::span<double> WriteBytes(size_t e) { return Row(write_bytes_, e); }
+  std::span<double> ReadOps(size_t e) { return Row(read_ops_, e); }
+  std::span<double> WriteOps(size_t e) { return Row(write_ops_, e); }
+  std::span<const double> ReadBytes(size_t e) const { return Row(read_bytes_, e); }
+  std::span<const double> WriteBytes(size_t e) const { return Row(write_bytes_, e); }
+  std::span<const double> ReadOps(size_t e) const { return Row(read_ops_, e); }
+  std::span<const double> WriteOps(size_t e) const { return Row(write_ops_, e); }
+
+  // rollup[e] += src, channel by channel (the RwSeries::Accumulate order).
+  void AccumulateRow(size_t e, const RwSeries& src);
+
+  // rollup[e][t] += src[t] for all four channels (the streaming AddColumn
+  // order).
+  void AccumulateColumn(size_t e, const RwSeries& src, size_t t);
+
+  // Materializes row `e` as a standalone RwSeries (bit-identical copies).
+  RwSeries ExtractSeries(size_t e) const;
+
+  // Bridge to the legacy per-entity representation.
+  std::vector<RwSeries> ToSeriesVector() const;
+
+ private:
+  std::span<double> Row(std::vector<double>& channel, size_t e) {
+    return {channel.data() + e * steps_, steps_};
+  }
+  std::span<const double> Row(const std::vector<double>& channel, size_t e) const {
+    return {channel.data() + e * steps_, steps_};
+  }
+
+  size_t entities_ = 0;
+  size_t steps_ = 0;
+  double step_seconds_ = 1.0;
+  std::vector<double> read_bytes_;
+  std::vector<double> write_bytes_;
+  std::vector<double> read_ops_;
+  std::vector<double> write_ops_;
+};
+
+// Matrix-native rollups; RollupTo*(fleet, metrics) in aggregate.h are thin
+// ToSeriesVector() wrappers over these.
+RwMatrix RollupMatrixToVd(const Fleet& fleet, const MetricDataset& metrics);
+RwMatrix RollupMatrixToVm(const Fleet& fleet, const MetricDataset& metrics);
+RwMatrix RollupMatrixToUser(const Fleet& fleet, const MetricDataset& metrics);
+RwMatrix RollupMatrixToWt(const Fleet& fleet, const MetricDataset& metrics);
+RwMatrix RollupMatrixToComputeNode(const Fleet& fleet, const MetricDataset& metrics);
+RwMatrix RollupMatrixToBlockServer(const Fleet& fleet, const MetricDataset& metrics);
+RwMatrix RollupMatrixToStorageNode(const Fleet& fleet, const MetricDataset& metrics);
+
+}  // namespace ebs
+
+#endif  // SRC_TRACE_ROLLUP_DENSE_H_

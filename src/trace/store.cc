@@ -730,17 +730,11 @@ std::vector<uint8_t> EncodeMetricsSection(const WorkloadResult& result) {
     AppendRwSeries(&out, series);
   }
 
-  std::vector<uint32_t> segment_ids;
-  segment_ids.reserve(metrics.segment_series.size());
-  for (const auto& [id, series] : metrics.segment_series) {  // ebs-lint: allow(unordered-iter) key collection, sorted below
-    segment_ids.push_back(id);
-  }
-  std::sort(segment_ids.begin(), segment_ids.end());
-  PutVarint(&out, segment_ids.size());
-  for (const uint32_t id : segment_ids) {
+  PutVarint(&out, metrics.segment_series.size());
+  metrics.segment_series.ForEachSorted([&out](uint32_t id, const RwSeries& series) {
     PutVarint(&out, id);
-    AppendRwSeries(&out, metrics.segment_series.at(id));
-  }
+    AppendRwSeries(&out, series);
+  });
 
   PutVarint(&out, result.offered_vd.size());
   for (const RwSeries& series : result.offered_vd) {
@@ -811,8 +805,8 @@ void DecodeMetricsSection(ByteReader reader, const TraceStoreMeta& meta,
       DecodeFail("metrics segment ids not strictly ascending");
     }
     prev_id = id;
-    metrics.segment_series.emplace(static_cast<uint32_t>(id),
-                                   DecodeRwSeries(&reader, steps, step_seconds));
+    metrics.segment_series.Insert(static_cast<uint32_t>(id),
+                                  DecodeRwSeries(&reader, steps, step_seconds));
   }
 
   uint64_t vd_count = 0;

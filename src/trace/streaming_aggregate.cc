@@ -4,31 +4,16 @@
 
 namespace ebs {
 
-namespace {
-
-std::vector<RwSeries> MakeSeries(size_t count, size_t steps, double dt) {
-  return std::vector<RwSeries>(count, RwSeries(steps, dt));
-}
-
-void AddColumn(RwSeries& out, const RwSeries& src, size_t t) {
-  out.read_bytes[t] += src.read_bytes[t];
-  out.write_bytes[t] += src.write_bytes[t];
-  out.read_ops[t] += src.read_ops[t];
-  out.write_ops[t] += src.write_ops[t];
-}
-
-}  // namespace
-
 StreamingAggregator::StreamingAggregator(const Fleet& fleet, size_t window_steps,
                                          double step_seconds)
     : fleet_(fleet),
-      vd_(MakeSeries(fleet.vds.size(), window_steps, step_seconds)),
-      vm_(MakeSeries(fleet.vms.size(), window_steps, step_seconds)),
-      user_(MakeSeries(fleet.users.size(), window_steps, step_seconds)),
-      wt_(MakeSeries(fleet.wts.size(), window_steps, step_seconds)),
-      cn_(MakeSeries(fleet.nodes.size(), window_steps, step_seconds)),
-      bs_(MakeSeries(fleet.block_servers.size(), window_steps, step_seconds)),
-      sn_(MakeSeries(fleet.storage_nodes.size(), window_steps, step_seconds)) {}
+      vd_(fleet.vds.size(), window_steps, step_seconds),
+      vm_(fleet.vms.size(), window_steps, step_seconds),
+      user_(fleet.users.size(), window_steps, step_seconds),
+      wt_(fleet.wts.size(), window_steps, step_seconds),
+      cn_(fleet.nodes.size(), window_steps, step_seconds),
+      bs_(fleet.block_servers.size(), window_steps, step_seconds),
+      sn_(fleet.storage_nodes.size(), window_steps, step_seconds) {}
 
 void StreamingAggregator::RegisterSegments(
     const std::vector<std::pair<SegmentId, const RwSeries*>>& segments) {
@@ -43,23 +28,33 @@ void StreamingAggregator::RegisterSegments(
 }
 
 void StreamingAggregator::IngestStep(const std::vector<RwSeries>& qp_series, size_t step) {
-  // Compute domain: QPs in fleet order, exactly like RollupComputeSide.
+  // Compute domain: QPs in fleet order, exactly like the batch compute-side
+  // rollup.
   for (const Qp& qp : fleet_.qps) {
     const RwSeries& src = qp_series[qp.id.value()];
-    AddColumn(vd_[qp.vd.value()], src, step);
-    AddColumn(vm_[qp.vm.value()], src, step);
-    AddColumn(user_[fleet_.vms[qp.vm.value()].user.value()], src, step);
-    AddColumn(wt_[qp.bound_wt.value()], src, step);
-    AddColumn(cn_[qp.node.value()], src, step);
+    vd_.AccumulateColumn(qp.vd.value(), src, step);
+    vm_.AccumulateColumn(qp.vm.value(), src, step);
+    user_.AccumulateColumn(fleet_.vms[qp.vm.value()].user.value(), src, step);
+    wt_.AccumulateColumn(qp.bound_wt.value(), src, step);
+    cn_.AccumulateColumn(qp.node.value(), src, step);
   }
-  // Storage domain: segments in ascending id order, exactly like
-  // RollupStorageSide's fleet-order sweep.
+  // Storage domain: segments in ascending id order, exactly like the batch
+  // storage-side rollup's sorted sweep.
   for (const auto& [seg_value, src] : segments_) {
     const Segment& segment = fleet_.segments[seg_value];
-    AddColumn(bs_[segment.server.value()], *src, step);
-    AddColumn(sn_[fleet_.block_servers[segment.server.value()].node.value()], *src, step);
+    bs_.AccumulateColumn(segment.server.value(), *src, step);
+    sn_.AccumulateColumn(fleet_.block_servers[segment.server.value()].node.value(), *src, step);
   }
   ++steps_ingested_;
+}
+
+const std::vector<RwSeries>& StreamingAggregator::Materialize(const View& view,
+                                                              const RwMatrix& matrix) {
+  util::MutexLock lock(&view.mu);
+  if (!view.value.has_value()) {
+    view.value = matrix.ToSeriesVector();
+  }
+  return *view.value;
 }
 
 }  // namespace ebs

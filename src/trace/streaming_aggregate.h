@@ -8,16 +8,25 @@
 // batch rollups use (QPs in fleet order, segments in ascending id order), so
 // the incremental result is bit-identical to the batch rollup of the same
 // metrics — the invariant the replay determinism test locks in.
+//
+// Storage is struct-of-arrays (RwMatrix, four contiguous buffers per rollup
+// level) — at fleet scale the old vector<RwSeries> layout cost four heap
+// allocations per entity per level before the first event flowed. The
+// per-entity vector<RwSeries> accessors materialize lazily from the matrices
+// on first call (post-run analysis path) and are cached.
 
 #ifndef SRC_TRACE_STREAMING_AGGREGATE_H_
 #define SRC_TRACE_STREAMING_AGGREGATE_H_
 
 #include <cstdint>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "src/topology/fleet.h"
 #include "src/trace/records.h"
+#include "src/trace/rollup_dense.h"
+#include "src/util/thread_annotations.h"
 
 namespace ebs {
 
@@ -37,28 +46,57 @@ class StreamingAggregator {
 
   size_t steps_ingested() const { return steps_ingested_; }
 
-  const std::vector<RwSeries>& vd() const { return vd_; }
-  const std::vector<RwSeries>& vm() const { return vm_; }
-  const std::vector<RwSeries>& user() const { return user_; }
-  const std::vector<RwSeries>& wt() const { return wt_; }
-  const std::vector<RwSeries>& cn() const { return cn_; }
-  const std::vector<RwSeries>& bs() const { return bs_; }
-  const std::vector<RwSeries>& sn() const { return sn_; }
+  // SoA rollup matrices; columns <= the last ingested step are final.
+  const RwMatrix& vd_matrix() const { return vd_; }
+  const RwMatrix& vm_matrix() const { return vm_; }
+  const RwMatrix& user_matrix() const { return user_; }
+  const RwMatrix& wt_matrix() const { return wt_; }
+  const RwMatrix& cn_matrix() const { return cn_; }
+  const RwMatrix& bs_matrix() const { return bs_; }
+  const RwMatrix& sn_matrix() const { return sn_; }
+
+  // Per-entity views, materialized from the matrices on first call (each
+  // series is a bit-identical copy of its matrix row). Thread-safe; intended
+  // for the post-run analysis path, not while IngestStep is still running.
+  const std::vector<RwSeries>& vd() const { return Materialize(vd_view_, vd_); }
+  const std::vector<RwSeries>& vm() const { return Materialize(vm_view_, vm_); }
+  const std::vector<RwSeries>& user() const { return Materialize(user_view_, user_); }
+  const std::vector<RwSeries>& wt() const { return Materialize(wt_view_, wt_); }
+  const std::vector<RwSeries>& cn() const { return Materialize(cn_view_, cn_); }
+  const std::vector<RwSeries>& bs() const { return Materialize(bs_view_, bs_); }
+  const std::vector<RwSeries>& sn() const { return Materialize(sn_view_, sn_); }
 
  private:
+  struct View {
+    mutable util::Mutex mu;
+    mutable std::optional<std::vector<RwSeries>> value EBS_GUARDED_BY(mu);
+  };
+
+  // Fills `view` from `matrix` exactly once; the reference stays valid after
+  // the lock drops because a filled view is never reset.
+  static const std::vector<RwSeries>& Materialize(const View& view, const RwMatrix& matrix);
+
   const Fleet& fleet_;
   size_t steps_ingested_ = 0;
   // Registered segment sources, sorted by segment id (matching the batch
   // storage-side rollup order).
   std::vector<std::pair<uint32_t, const RwSeries*>> segments_;
 
-  std::vector<RwSeries> vd_;
-  std::vector<RwSeries> vm_;
-  std::vector<RwSeries> user_;
-  std::vector<RwSeries> wt_;
-  std::vector<RwSeries> cn_;
-  std::vector<RwSeries> bs_;
-  std::vector<RwSeries> sn_;
+  RwMatrix vd_;
+  RwMatrix vm_;
+  RwMatrix user_;
+  RwMatrix wt_;
+  RwMatrix cn_;
+  RwMatrix bs_;
+  RwMatrix sn_;
+
+  View vd_view_;
+  View vm_view_;
+  View user_view_;
+  View wt_view_;
+  View cn_view_;
+  View bs_view_;
+  View sn_view_;
 };
 
 }  // namespace ebs

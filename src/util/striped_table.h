@@ -1,0 +1,191 @@
+// StripedTable: a fixed-stripe concurrent hash table for name-addressed
+// registries (obs::MetricRegistry is the production user).
+//
+// Why not one std::map under one mutex: every Get* on the registry's hot
+// setup path serializes on a single global lock, and a node-based map pays a
+// pointer chase per comparison. StripedTable shards the key space across
+// kStripes independent open-addressing tables, each behind its own annotated
+// util::Mutex on its own cache line — lookups for different names contend
+// only when they hash to the same stripe (1/16 of the time), and a probe is
+// a linear scan of a contiguous slot array.
+//
+// Invariants (see DESIGN.md "Striped concurrent table"):
+//  - Values are held by unique_ptr: rehashing a stripe moves the owning
+//    pointers, never the pointees, so the T* handed out by GetOrCreate/Find
+//    is stable for the table's lifetime. Callers may cache it outside locks;
+//    T must be internally synchronized for post-lookup mutation.
+//  - Iteration is sorted-only. The physical slot order depends on
+//    std::hash (seed- and libstdc++-version-dependent), so exposing it would
+//    leak nondeterminism into snapshots; SortedItems()/ForEachSorted() are
+//    the only traversals, and ebs_lint's unordered-iter rule flags any
+//    range-for over a StripedTable the same way it flags unordered_map.
+//  - No erase. Registries only grow; tombstone-free linear probing stays
+//    correct and the load factor bound (used/capacity <= 7/8) keeps probe
+//    chains short.
+
+#ifndef SRC_UTIL_STRIPED_TABLE_H_
+#define SRC_UTIL_STRIPED_TABLE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/thread_annotations.h"
+
+namespace ebs {
+namespace util {
+
+template <typename T>
+class StripedTable {
+ public:
+  static constexpr size_t kStripes = 16;  // power of two
+
+  StripedTable() = default;
+  StripedTable(const StripedTable&) = delete;
+  StripedTable& operator=(const StripedTable&) = delete;
+
+  // Returns the value registered under `key`, creating it with `make()` (a
+  // callable returning std::unique_ptr<T>) under the stripe lock when absent.
+  // The returned pointer is stable for the table's lifetime.
+  template <typename Factory>
+  T* GetOrCreate(std::string_view key, Factory&& make) {
+    const size_t hash = HashKey(key);
+    Stripe& stripe = stripes_[hash & (kStripes - 1)];
+    util::MutexLock lock(&stripe.mu);
+    if (T* found = FindInStripe(stripe, hash, key)) {
+      return found;
+    }
+    MaybeGrow(stripe);
+    const size_t mask = stripe.slots.size() - 1;
+    size_t i = (hash >> kStripeBits) & mask;
+    while (stripe.slots[i].value != nullptr) {
+      i = (i + 1) & mask;
+    }
+    stripe.slots[i] = Entry{hash, std::string(key), make()};
+    ++stripe.used;
+    return stripe.slots[i].value.get();
+  }
+
+  // Returns the value registered under `key`, or nullptr.
+  T* Find(std::string_view key) const {
+    const size_t hash = HashKey(key);
+    const Stripe& stripe = stripes_[hash & (kStripes - 1)];
+    util::MutexLock lock(&stripe.mu);
+    return FindInStripe(stripe, hash, key);
+  }
+
+  // Total entry count (locks each stripe in turn; not a hot-path call).
+  size_t size() const {
+    size_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+      util::MutexLock lock(&stripe.mu);
+      total += stripe.used;
+    }
+    return total;
+  }
+
+  bool empty() const { return size() == 0; }
+
+  // Key-sorted snapshot of the table. The only traversal the table offers:
+  // physical slot order is hash order, which is not deterministic across
+  // standard-library versions, so it never leaks past the stripe locks.
+  std::vector<std::pair<std::string, T*>> SortedItems() const {
+    std::vector<std::pair<std::string, T*>> items;
+    for (const Stripe& stripe : stripes_) {
+      util::MutexLock lock(&stripe.mu);
+      for (const Entry& entry : stripe.slots) {
+        if (entry.value != nullptr) {
+          items.emplace_back(entry.key, entry.value.get());
+        }
+      }
+    }
+    std::sort(items.begin(), items.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return items;
+  }
+
+  // Calls fn(key, value) for every entry in ascending key order.
+  template <typename Fn>
+  void ForEachSorted(Fn&& fn) const {
+    for (const auto& [key, value] : SortedItems()) {
+      fn(key, *value);
+    }
+  }
+
+ private:
+  static constexpr size_t kStripeBits = 4;  // log2(kStripes)
+  static constexpr size_t kInitialSlots = 16;
+
+  struct Entry {
+    size_t hash = 0;
+    std::string key;
+    std::unique_ptr<T> value;  // nullptr marks a vacant slot
+  };
+
+  // One lock + one open-addressing slot array per stripe, padded to its own
+  // cache line so lock traffic on neighbouring stripes never false-shares.
+  struct alignas(64) Stripe {
+    mutable util::Mutex mu;
+    std::vector<Entry> slots EBS_GUARDED_BY(mu);
+    size_t used EBS_GUARDED_BY(mu) = 0;
+  };
+
+  static size_t HashKey(std::string_view key) { return std::hash<std::string_view>{}(key); }
+
+  // Linear probe within one stripe. Probe indices drop the stripe-selection
+  // bits (hash >> kStripeBits): every key in a stripe shares the low
+  // kStripeBits of its hash, and masking them in would cluster all entries
+  // onto 1/kStripes of the slots.
+  static T* FindInStripe(const Stripe& stripe, size_t hash, std::string_view key)
+      EBS_REQUIRES(stripe.mu) {
+    if (stripe.slots.empty()) {
+      return nullptr;
+    }
+    const size_t mask = stripe.slots.size() - 1;
+    size_t i = (hash >> kStripeBits) & mask;
+    while (stripe.slots[i].value != nullptr) {
+      if (stripe.slots[i].hash == hash && stripe.slots[i].key == key) {
+        return stripe.slots[i].value.get();
+      }
+      i = (i + 1) & mask;
+    }
+    return nullptr;
+  }
+
+  // Grows the stripe when the next insert would push used/capacity past 7/8.
+  // Rehashing moves the Entry (string + owning pointer); pointees stay put.
+  static void MaybeGrow(Stripe& stripe) EBS_REQUIRES(stripe.mu) {
+    if (stripe.slots.empty()) {
+      stripe.slots.resize(kInitialSlots);
+      return;
+    }
+    if ((stripe.used + 1) * 8 <= stripe.slots.size() * 7) {
+      return;
+    }
+    std::vector<Entry> old = std::move(stripe.slots);
+    stripe.slots = std::vector<Entry>(old.size() * 2);  // Entry is move-only
+    const size_t mask = stripe.slots.size() - 1;
+    for (Entry& entry : old) {
+      if (entry.value == nullptr) {
+        continue;
+      }
+      size_t i = (entry.hash >> kStripeBits) & mask;
+      while (stripe.slots[i].value != nullptr) {
+        i = (i + 1) & mask;
+      }
+      stripe.slots[i] = std::move(entry);
+    }
+  }
+
+  Stripe stripes_[kStripes];
+};
+
+}  // namespace util
+}  // namespace ebs
+
+#endif  // SRC_UTIL_STRIPED_TABLE_H_

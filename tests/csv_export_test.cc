@@ -145,10 +145,10 @@ TEST_F(CsvExportFixture, StorageMetricsRowsMatchNonIdleSteps) {
   std::remove(path.c_str());
 
   size_t non_idle = 0;
-  for (const auto& [seg, series] : result_->metrics.segment_series) {
+  for (const auto& [seg, series] : result_->metrics.segment_series.SortedItems()) {
     for (size_t t = 0; t < result_->metrics.window_steps; ++t) {
-      if (series.read_bytes[t] > 0.0 || series.write_bytes[t] > 0.0 ||
-          series.read_ops[t] > 0.0 || series.write_ops[t] > 0.0) {
+      if (series->read_bytes[t] > 0.0 || series->write_bytes[t] > 0.0 ||
+          series->read_ops[t] > 0.0 || series->write_ops[t] > 0.0) {
         ++non_idle;
       }
     }

@@ -1,0 +1,19 @@
+// Fixture: range-for over a util::StripedTable. The table's physical slot
+// order is hash order (seed- and standard-library-dependent), so direct
+// iteration is exactly as nondeterministic as an unordered_map sweep; the
+// sanctioned traversals are SortedItems() / ForEachSorted().
+#include <cstdint>
+
+#include "src/util/striped_table.h"
+
+struct RegistryTotals {
+  ebs::util::StripedTable<double> bytes_by_name;
+
+  double Total() const {
+    double sum = 0.0;
+    for (const auto& [name, bytes] : bytes_by_name) {
+      sum += *bytes;
+    }
+    return sum;
+  }
+};

@@ -1,0 +1,18 @@
+// Fixture: the sanctioned StripedTable traversal — SortedItems() snapshots
+// the table in ascending key order, so nothing downstream ever observes hash
+// order.
+#include <cstdint>
+
+#include "src/util/striped_table.h"
+
+struct RegistryTotals {
+  ebs::util::StripedTable<double> bytes_by_name;
+
+  double Total() const {
+    double sum = 0.0;
+    for (const auto& [name, bytes] : bytes_by_name.SortedItems()) {
+      sum += *bytes;
+    }
+    return sum;
+  }
+};

@@ -66,6 +66,18 @@ TEST(LatencyHistTest, InterpolatedPercentilesOnUniformDistribution) {
   EXPECT_DOUBLE_EQ(hist.Mean(), 5000.5);
 }
 
+TEST(LatencyHistTest, SingleSampleReadsBackExactlyAtEveryQuantile) {
+  // One sample: rank is 1 for every q, the within-bucket interpolation puts
+  // the rank at the bucket's upper edge, and the observed-max cap pulls the
+  // readout back to exactly the recorded value — no bucket quantization.
+  LatencyHist hist;
+  hist.Record(137.5);
+  ASSERT_EQ(hist.count(), 1u);
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(hist.Percentile(q), 137.5) << "q=" << q;
+  }
+}
+
 TEST(LatencyHistTest, PercentilesAreMonotoneAndCappedByMax) {
   LatencyHist hist;
   for (const double v : {10.0, 20.0, 20.0, 30.0, 5000.0}) {

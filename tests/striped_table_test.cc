@@ -1,0 +1,180 @@
+// util::StripedTable: single-thread semantics (get-or-create identity,
+// pointer stability across rehashes, sorted-only traversal) and the
+// concurrency contract (racing GetOrCreate on overlapping key sets resolves
+// to exactly one value per key). The concurrency tests also run under TSan in
+// ci_smoke to prove the per-stripe locking has no data races.
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/striped_table.h"
+
+namespace ebs {
+namespace {
+
+std::unique_ptr<int> MakeInt(int value) { return std::make_unique<int>(value); }
+
+TEST(StripedTableTest, GetOrCreateReturnsSamePointerForSameKey) {
+  util::StripedTable<int> table;
+  int* first = table.GetOrCreate("alpha", [] { return MakeInt(1); });
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(*first, 1);
+  // Second factory must not run: the existing value wins.
+  int* second = table.GetOrCreate("alpha", []() -> std::unique_ptr<int> {
+    ADD_FAILURE() << "factory ran for an existing key";
+    return MakeInt(2);
+  });
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(*second, 1);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(StripedTableTest, FindReturnsNullForAbsentKey) {
+  util::StripedTable<int> table;
+  EXPECT_EQ(table.Find("missing"), nullptr);
+  EXPECT_TRUE(table.empty());
+  table.GetOrCreate("present", [] { return MakeInt(7); });
+  ASSERT_NE(table.Find("present"), nullptr);
+  EXPECT_EQ(*table.Find("present"), 7);
+  EXPECT_EQ(table.Find("missing"), nullptr);
+  EXPECT_FALSE(table.empty());
+}
+
+TEST(StripedTableTest, PointersStableAcrossRehashes) {
+  util::StripedTable<int> table;
+  // Far more keys than kStripes * kInitialSlots, forcing several doublings of
+  // every stripe. Every previously handed-out pointer must keep its value.
+  constexpr int kKeys = 4096;
+  std::vector<int*> pointers(kKeys);
+  for (int i = 0; i < kKeys; ++i) {
+    pointers[i] = table.GetOrCreate("key." + std::to_string(i), [i] { return MakeInt(i); });
+  }
+  EXPECT_EQ(table.size(), static_cast<size_t>(kKeys));
+  for (int i = 0; i < kKeys; ++i) {
+    EXPECT_EQ(*pointers[i], i) << "key." << i;
+    EXPECT_EQ(table.Find("key." + std::to_string(i)), pointers[i]) << "key." << i;
+  }
+}
+
+TEST(StripedTableTest, SortedItemsIsKeySortedAndComplete) {
+  util::StripedTable<int> table;
+  // Insertion order is deliberately unsorted.
+  for (const char* key : {"delta", "alpha", "echo", "charlie", "bravo"}) {
+    table.GetOrCreate(key, [] { return MakeInt(0); });
+  }
+  const auto items = table.SortedItems();
+  ASSERT_EQ(items.size(), 5u);
+  const std::vector<std::string> want = {"alpha", "bravo", "charlie", "delta", "echo"};
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(items[i].first, want[i]);
+    EXPECT_NE(items[i].second, nullptr);
+  }
+}
+
+TEST(StripedTableTest, ForEachSortedVisitsAscending) {
+  util::StripedTable<int> table;
+  constexpr int kKeys = 100;
+  for (int i = kKeys - 1; i >= 0; --i) {
+    // Zero-padded keys so lexicographic order equals numeric order.
+    std::string key = std::to_string(i);
+    key.insert(0, 3 - key.size(), '0');
+    table.GetOrCreate(key, [i] { return MakeInt(i); });
+  }
+  std::vector<std::string> visited;
+  table.ForEachSorted([&](const std::string& key, int& value) {
+    EXPECT_EQ(value, std::stoi(key));
+    visited.push_back(key);
+  });
+  ASSERT_EQ(visited.size(), static_cast<size_t>(kKeys));
+  for (size_t i = 1; i < visited.size(); ++i) {
+    EXPECT_LT(visited[i - 1], visited[i]);
+  }
+}
+
+TEST(StripedTableTest, ConcurrentGetOrCreateResolvesOneValuePerKey) {
+  util::StripedTable<std::atomic<uint64_t>> table;
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 64;
+  constexpr int kIncrementsPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table] {
+      for (int rep = 0; rep < kIncrementsPerThread; ++rep) {
+        const std::string key = "metric." + std::to_string(rep % kKeys);
+        std::atomic<uint64_t>* slot = table.GetOrCreate(
+            key, [] { return std::make_unique<std::atomic<uint64_t>>(0); });
+        slot->fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  // Exactly one value per key, holding the full cross-thread total: if two
+  // racing factories both won, some increments would have landed in an orphan.
+  EXPECT_EQ(table.size(), static_cast<size_t>(kKeys));
+  uint64_t total = 0;
+  table.ForEachSorted([&total](const std::string&, std::atomic<uint64_t>& value) {
+    total += value.load(std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * kIncrementsPerThread);
+}
+
+TEST(StripedTableTest, ConcurrentInsertDisjointKeysAllPresent) {
+  util::StripedTable<int> table;
+  constexpr int kThreads = 8;
+  constexpr int kKeysPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table, t] {
+      for (int i = 0; i < kKeysPerThread; ++i) {
+        const int value = t * kKeysPerThread + i;
+        std::string key = "t";
+        key += std::to_string(t);
+        key += ".k";
+        key += std::to_string(i);
+        table.GetOrCreate(key, [value] { return MakeInt(value); });
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(table.size(), static_cast<size_t>(kThreads * kKeysPerThread));
+  std::set<int> values;
+  table.ForEachSorted([&values](const std::string&, int& value) { values.insert(value); });
+  EXPECT_EQ(values.size(), static_cast<size_t>(kThreads * kKeysPerThread));
+}
+
+TEST(StripedTableTest, ConcurrentReadersDuringWrites) {
+  util::StripedTable<int> table;
+  std::atomic<bool> stop{false};
+  // Writers keep inserting fresh keys (forcing rehashes) while readers probe
+  // a stable key; the reader's pointer must stay valid the whole time.
+  int* stable = table.GetOrCreate("stable", [] { return MakeInt(42); });
+  std::thread writer([&table, &stop] {
+    for (int i = 0; i < 20000 && !stop.load(std::memory_order_relaxed); ++i) {
+      table.GetOrCreate("churn." + std::to_string(i), [i] { return MakeInt(i); });
+    }
+  });
+  std::thread reader([&table, stable, &stop] {
+    for (int i = 0; i < 20000 && !stop.load(std::memory_order_relaxed); ++i) {
+      EXPECT_EQ(table.Find("stable"), stable);
+      EXPECT_EQ(*stable, 42);
+    }
+  });
+  writer.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+}
+
+}  // namespace
+}  // namespace ebs

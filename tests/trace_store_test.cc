@@ -308,10 +308,10 @@ TEST_F(TraceStoreFixture, MetricsSectionRoundTripsExactly) {
     ExpectRwSeriesEqual(got.metrics.qp_series[q], result_->metrics.qp_series[q], "qp");
   }
   ASSERT_EQ(got.metrics.segment_series.size(), result_->metrics.segment_series.size());
-  for (const auto& [seg, series] : result_->metrics.segment_series) {
-    auto it = got.metrics.segment_series.find(seg);
-    ASSERT_NE(it, got.metrics.segment_series.end()) << "segment " << seg;
-    ExpectRwSeriesEqual(it->second, series, "segment");
+  for (const auto& [seg, series] : result_->metrics.segment_series.SortedItems()) {
+    const RwSeries* round_tripped = got.metrics.segment_series.Find(seg);
+    ASSERT_NE(round_tripped, nullptr) << "segment " << seg;
+    ExpectRwSeriesEqual(*round_tripped, *series, "segment");
   }
   ASSERT_EQ(got.offered_vd.size(), result_->offered_vd.size());
   for (size_t v = 0; v < got.offered_vd.size(); ++v) {

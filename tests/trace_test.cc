@@ -37,6 +37,70 @@ class TraceFixture : public ::testing::Test {
 Fleet* TraceFixture::fleet_ = nullptr;
 WorkloadResult* TraceFixture::result_ = nullptr;
 
+TEST(SegmentSeriesMapTest, FindOrCreateConstructsInPlaceOnce) {
+  SegmentSeriesMap map;
+  RwSeries& first = map.FindOrCreate(7, 5, 1.0);
+  EXPECT_EQ(first.read_bytes.size(), 5u);
+  first.read_bytes[2] = 3.0;
+  // Second call must return the same series, not a freshly constructed one.
+  RwSeries& again = map.FindOrCreate(7, 5, 1.0);
+  EXPECT_EQ(&again, &first);
+  EXPECT_DOUBLE_EQ(again.read_bytes[2], 3.0);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(SegmentSeriesMapTest, FindReturnsNullForAbsentId) {
+  SegmentSeriesMap map;
+  EXPECT_EQ(map.Find(3), nullptr);
+  map.FindOrCreate(3, 2, 1.0);
+  EXPECT_NE(map.Find(3), nullptr);
+  EXPECT_EQ(map.Find(2), nullptr);
+  EXPECT_EQ(map.Find(4), nullptr);   // beyond any registered id
+  EXPECT_EQ(map.Find(999), nullptr);
+}
+
+TEST(SegmentSeriesMapTest, ReferencesStableAcrossLaterInserts) {
+  // The workload generator caches RwSeries* while later VMs keep inserting:
+  // the deque storage must never move an existing series.
+  SegmentSeriesMap map;
+  RwSeries& early = map.FindOrCreate(0, 3, 1.0);
+  early.write_bytes[0] = 42.0;
+  for (uint32_t id = 1; id < 500; ++id) {
+    map.FindOrCreate(id, 3, 1.0);
+  }
+  EXPECT_EQ(map.Find(0), &early);
+  EXPECT_DOUBLE_EQ(early.write_bytes[0], 42.0);
+  EXPECT_EQ(map.size(), 500u);
+}
+
+TEST(SegmentSeriesMapTest, SortedItemsAscendingRegardlessOfInsertOrder) {
+  SegmentSeriesMap map;
+  for (const uint32_t id : {9u, 2u, 17u, 5u, 3u}) {
+    map.FindOrCreate(id, 1, 1.0);
+  }
+  uint32_t prev = 0;
+  size_t seen = 0;
+  map.ForEachSorted([&](uint32_t id, const RwSeries& series) {
+    if (seen > 0) {
+      EXPECT_GT(id, prev);
+    }
+    EXPECT_EQ(series.read_bytes.size(), 1u);
+    prev = id;
+    ++seen;
+  });
+  EXPECT_EQ(seen, 5u);
+}
+
+TEST(SegmentSeriesMapTest, InsertOverwritesExistingSeries) {
+  SegmentSeriesMap map;
+  map.FindOrCreate(4, 2, 1.0).read_bytes[0] = 1.0;
+  RwSeries replacement(2, 1.0);
+  replacement.read_bytes[0] = 8.0;
+  map.Insert(4, std::move(replacement));
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_DOUBLE_EQ(map.Find(4)->read_bytes[0], 8.0);
+}
+
 TEST(RwSeriesTest, AccumulateAddsAllFour) {
   RwSeries a(3, 1.0);
   RwSeries b(3, 1.0);
@@ -92,8 +156,8 @@ TEST_F(TraceFixture, RollupsConserveTotals) {
 TEST_F(TraceFixture, StorageRollupsConserveSegmentTotals) {
   const MetricDataset& metrics = result_->metrics;
   double seg_total = 0.0;
-  for (const auto& [key, series] : metrics.segment_series) {
-    seg_total += series.TotalBytes();
+  for (const auto& [key, series] : metrics.segment_series.SortedItems()) {
+    seg_total += series->TotalBytes();
   }
   for (const auto rollup : {RollupToBlockServer, RollupToStorageNode}) {
     double total = 0.0;
@@ -113,8 +177,8 @@ TEST_F(TraceFixture, ComputeAndStorageDomainsAgree) {
     qp_total += series.TotalBytes();
   }
   double seg_total = 0.0;
-  for (const auto& [key, series] : metrics.segment_series) {
-    seg_total += series.TotalBytes();
+  for (const auto& [key, series] : metrics.segment_series.SortedItems()) {
+    seg_total += series->TotalBytes();
   }
   EXPECT_NEAR(seg_total, qp_total, qp_total * 1e-6);
 }

@@ -145,6 +145,32 @@ TEST(TimeSeriesTest, DownsampleSums) {
   EXPECT_DOUBLE_EQ(down.step_seconds(), 2.0);
 }
 
+TEST(TimeSeriesTest, DownsamplePartialTailWindow) {
+  // The tail window may cover fewer than `factor` steps; it must still be
+  // emitted (as the sum of the remaining steps), and the output step width is
+  // factor * input step even for that short window.
+  const TimeSeries series({1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0}, 0.5);
+  const TimeSeries by_three = series.Downsample(3);
+  ASSERT_EQ(by_three.size(), 3u);
+  EXPECT_DOUBLE_EQ(by_three[0], 6.0);
+  EXPECT_DOUBLE_EQ(by_three[1], 15.0);
+  EXPECT_DOUBLE_EQ(by_three[2], 7.0);  // one-step tail
+  EXPECT_DOUBLE_EQ(by_three.step_seconds(), 1.5);
+
+  // Factor beyond the series length: everything lands in one partial window.
+  const TimeSeries by_ten = series.Downsample(10);
+  ASSERT_EQ(by_ten.size(), 1u);
+  EXPECT_DOUBLE_EQ(by_ten[0], 28.0);
+  EXPECT_DOUBLE_EQ(by_ten.step_seconds(), 5.0);
+
+  // Factor 1 is the identity (modulo a fresh buffer).
+  const TimeSeries identity = series.Downsample(1);
+  ASSERT_EQ(identity.size(), series.size());
+  for (size_t i = 0; i < series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(identity[i], series[i]);
+  }
+}
+
 TEST(TimeSeriesTest, Slice) {
   const TimeSeries series({1.0, 2.0, 3.0, 4.0}, 1.0);
   const TimeSeries slice = series.Slice(1, 3);
